@@ -1,0 +1,158 @@
+"""Ablations of the design choices the paper argues for (see DESIGN.md §5).
+
+1. Error *regression* + argmin vs. plain multi-class classification
+   (paper §4.1 rejects classification because it ignores error magnitude).
+2. MART vs. a linear (ridge) error model (paper §4.2 found linear models
+   significantly worse).
+3. Fixed-weight estimator *combination* fit on training data vs.
+   selection (paper §4.1 found combinations unstable across workloads).
+4. Boosting-iteration sensitivity of the selection quality.
+"""
+
+import numpy as np
+
+from repro.core.evaluate import evaluate_choices
+from repro.core.training import train_selector
+from repro.experiments.results import format_table, save_result
+from repro.learning.linear import RidgeRegressor
+from repro.learning.mart import MARTRegressor
+
+from conftest import FULL6
+
+TEST_WORKLOAD = "real2"   # ad-hoc: held out from training
+
+
+def _loo(harness, mode="dynamic"):
+    train, test = harness.leave_one_out(TEST_WORKLOAD, mode)
+    return (train.restrict_estimators(FULL6),
+            test.restrict_estimators(FULL6))
+
+
+def test_ablation_regression_vs_classification(harness, once):
+    def compute():
+        train, test = _loo(harness)
+        params = harness.scale.mart_params()
+        # (a) the paper's setup: per-estimator error regression, argmin
+        reg_selector = train_selector(train, params)
+        reg_eval = evaluate_choices("regression", test,
+                                    reg_selector.select_indices(test.X))
+        # (b) classification: one-vs-rest on the is-optimal indicator
+        best = np.argmin(train.errors_l1, axis=1)
+        scores = np.zeros((test.n_examples, len(FULL6)))
+        for j in range(len(FULL6)):
+            model = MARTRegressor(params).fit(
+                train.X, (best == j).astype(np.float64))
+            scores[:, j] = model.predict(test.X)
+        cls_eval = evaluate_choices("classification", test,
+                                    np.argmax(scores, axis=1))
+        return reg_eval, cls_eval
+
+    reg_eval, cls_eval = once(compute)
+    table = format_table(
+        ["setup", "avg L1", "% near-optimal"],
+        [["error regression (paper)", reg_eval.avg_l1,
+          f"{reg_eval.optimal_rate:.1%}"],
+         ["multi-class classification", cls_eval.avg_l1,
+          f"{cls_eval.optimal_rate:.1%}"]],
+        title="Ablation — §4.1 learning-task formulation")
+    print("\n" + table)
+    save_result("ablation_regression_vs_classification", table)
+    # Regression should not lose (it optimizes what we score).
+    assert reg_eval.avg_l1 <= cls_eval.avg_l1 * 1.10
+
+
+def test_ablation_mart_vs_linear(harness, once):
+    def compute():
+        train, test = _loo(harness)
+        mart_selector = train_selector(train, harness.scale.mart_params())
+        mart_eval = evaluate_choices(
+            "mart", test, mart_selector.select_indices(test.X))
+        predictions = np.column_stack([
+            RidgeRegressor(alpha=1.0).fit(train.X, train.errors_l1[:, j])
+            .predict(test.X) for j in range(len(FULL6))])
+        linear_eval = evaluate_choices("linear", test,
+                                       np.argmin(predictions, axis=1))
+        return mart_eval, linear_eval
+
+    mart_eval, linear_eval = once(compute)
+    table = format_table(
+        ["model", "avg L1", "% near-optimal"],
+        [["MART (paper)", mart_eval.avg_l1, f"{mart_eval.optimal_rate:.1%}"],
+         ["ridge regression", linear_eval.avg_l1,
+          f"{linear_eval.optimal_rate:.1%}"]],
+        title="Ablation — §4.2 MART vs linear error models")
+    print("\n" + table)
+    save_result("ablation_mart_vs_linear", table)
+    # MART should be at least competitive; at tiny scales the tiny training
+    # sets blunt its advantage, hence the tolerance.
+    assert mart_eval.avg_l1 <= linear_eval.avg_l1 * 1.25
+
+
+def test_ablation_fixed_weight_combination(harness, once):
+    """Least-squares fixed-weight estimator blend vs selection (§4.1)."""
+    def compute():
+        train, test = _loo(harness)
+        selector = train_selector(train, harness.scale.mart_params())
+        sel_eval = evaluate_choices("selection", test,
+                                    selector.select_indices(test.X))
+        # Build the blend on *trajectories* of the training workloads.
+        from repro.progress.registry import all_estimators
+        pool = {e.name: e for e in all_estimators()}
+        names = FULL6
+
+        def stack(workloads):
+            rows, truth = [], []
+            for w in workloads:
+                for pr in harness.pipelines(w):
+                    ests = np.column_stack([pool[n].estimate(pr)
+                                            for n in names])
+                    rows.append(ests)
+                    truth.append(pr.true_progress())
+            return np.vstack(rows), np.concatenate(truth)
+
+        train_workloads = [w for w in harness.suite.names
+                           if w != TEST_WORKLOAD]
+        A, b = stack(train_workloads)
+        weights, *_ = np.linalg.lstsq(A, b, rcond=None)
+        # evaluate blended estimator on the held-out workload
+        errors = []
+        for pr in harness.pipelines(TEST_WORKLOAD):
+            ests = np.column_stack([pool[n].estimate(pr) for n in names])
+            blend = np.clip(ests @ weights, 0.0, 1.0)
+            errors.append(float(np.mean(np.abs(blend - pr.true_progress()))))
+        return sel_eval, float(np.mean(errors)), weights
+
+    sel_eval, blend_l1, weights = once(compute)
+    table = format_table(
+        ["method", "avg L1 on held-out workload"],
+        [["estimator selection", sel_eval.avg_l1],
+         ["fixed-weight combination", blend_l1]],
+        title="Ablation — §4.1 selection vs fixed-weight combination")
+    print("\n" + table)
+    print("fitted weights:", dict(zip(FULL6, np.round(weights, 3))))
+    save_result("ablation_fixed_weights", table,
+                {"selection_l1": sel_eval.avg_l1, "blend_l1": blend_l1,
+                 "weights": dict(zip(FULL6, weights))})
+
+
+def test_ablation_boosting_iterations(harness, once):
+    def compute():
+        train, test = _loo(harness)
+        results = {}
+        for n_trees in (10, 40, harness.scale.mart_trees):
+            params = harness.scale.mart_params(n_trees=n_trees)
+            selector = train_selector(train, params)
+            ev = evaluate_choices(f"M={n_trees}", test,
+                                  selector.select_indices(test.X))
+            results[n_trees] = (ev.avg_l1, ev.optimal_rate,
+                                selector.training_seconds_)
+        return results
+
+    results = once(compute)
+    rows = [[m, l1, f"{rate:.1%}", f"{secs:.1f}s"]
+            for m, (l1, rate, secs) in results.items()]
+    table = format_table(["boosting iterations", "avg L1", "% near-optimal",
+                          "train time"], rows,
+                         title="Ablation — boosting-iteration sensitivity")
+    print("\n" + table)
+    save_result("ablation_boosting_iterations", table)

@@ -1,0 +1,66 @@
+"""Figure 5: average L1/L2 progress error of every method.
+
+The paper's headline chart: DNE/TGN/LUO individually, estimator selection
+over the three (static and dynamic features), estimator selection over the
+six-estimator pool (adding BATCHDNE/DNESEEK/TGNINT), plus the "oracle"
+lower bound and the ruled-out worst-case estimators (SAFE/PMAX, §6.2).
+All numbers are leave-one-workload-out aggregates.
+"""
+
+import numpy as np
+
+from repro.core.evaluate import evaluate_fixed, evaluate_oracle
+from repro.experiments.results import format_table, save_result
+
+from conftest import FULL6, ORIGINAL3
+
+
+def test_fig5_average_errors(harness, loo_cache, once):
+    def compute():
+        results = {}
+        test3 = loo_cache.pooled_test("dynamic", tuple(ORIGINAL3))
+        for name in ORIGINAL3:
+            ev = evaluate_fixed(test3, name)
+            results[name.upper()] = (ev.avg_l1, ev.avg_l2)
+        # worst-case estimators, evaluated on the full-pool data
+        full_pool = harness.pooled_training_data(list(harness.suite.names),
+                                                 "dynamic")
+        for name in ("pmax", "safe"):
+            ev = evaluate_fixed(full_pool, name)
+            results[name.upper()] = (ev.avg_l1, ev.avg_l2)
+        for pool, pool_label in ((ORIGINAL3, "3"), (FULL6, "6")):
+            for mode in ("static", "dynamic"):
+                l1 = float(np.mean(loo_cache.pooled_chosen_errors(
+                    mode, tuple(pool))))
+                l2 = float(np.mean(np.concatenate([
+                    loo_cache.result(w, mode, tuple(pool))[0].chosen_errors_l2
+                    for w in harness.suite.names])))
+                results[f"SEL[{pool_label} est., {mode}]"] = (l1, l2)
+            oracle = evaluate_oracle(
+                loo_cache.pooled_test("dynamic", tuple(pool)))
+            results[f"ORACLE[{pool_label} est.]"] = (oracle.avg_l1,
+                                                     oracle.avg_l2)
+        return results
+
+    results = once(compute)
+    rows = [[name, l1, l2] for name, (l1, l2) in results.items()]
+    table = format_table(["method", "avg L1", "avg L2"], rows,
+                         title="Figure 5 — average progress estimation error")
+    print("\n" + table)
+    save_result("fig5_l1_l2", table,
+                {k: {"l1": v[0], "l2": v[1]} for k, v in results.items()})
+
+    # Paper shapes:
+    best_single = min(results[n.upper()][0] for n in ORIGINAL3)
+    assert results["SEL[3 est., dynamic]"][0] <= best_single * 1.05
+    # dynamic features no worse than static (3-estimator pool)
+    assert (results["SEL[3 est., dynamic]"][0]
+            <= results["SEL[3 est., static]"][0] + 0.01)
+    # richer pool helps (or at least does not hurt)
+    assert (results["SEL[6 est., dynamic]"][0]
+            <= results["SEL[3 est., dynamic]"][0] + 0.01)
+    # oracle lower-bounds selection
+    assert results["ORACLE[6 est.]"][0] <= results["SEL[6 est., dynamic]"][0]
+    # SAFE and PMAX are far worse than everything else (§6.2)
+    assert results["SAFE"][0] > 1.5 * best_single
+    assert results["PMAX"][0] > 1.5 * best_single

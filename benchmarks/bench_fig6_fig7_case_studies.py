@@ -1,0 +1,119 @@
+"""Figures 6 and 7: progress-curve case studies.
+
+Figure 6: a nested-loop-join pipeline with a partial batch sort — the
+batch sort buffers the driver input, so DNE (driver-based) runs far ahead
+of the truth while BATCHDNE tracks it.
+
+Figure 7: a complex hash-join query whose optimizer estimates are off —
+TGN cannot recover from the cardinality error while interpolating/driver
+based estimators adjust late in the pipeline.
+"""
+
+import numpy as np  # noqa: F401 (used in saved trajectories)
+
+from repro.catalog.statistics import build_statistics
+from repro.datagen.tpch import generate_tpch
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.experiments.results import ascii_series, format_table, save_result
+from repro.optimizer.planner import Planner, PlannerConfig
+from repro.plan.nodes import Op
+from repro.progress.metrics import l1_error
+from repro.progress.registry import all_estimators
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+
+
+def _run_case(harness, db, plan, name):
+    # Small batches: observations can only happen between operator charges,
+    # and a case-study query at tiny scale would otherwise run in a handful
+    # of batches.
+    config = ExecutorConfig(
+        batch_size=32,
+        memory_budget_bytes=harness.scale.memory_budget_bytes,
+        target_observations=400, seed=13)
+    run = QueryExecutor(db, config).execute(plan, name)
+    pipelines = run.pipeline_runs(min_observations=10)
+    assert pipelines, "case-study query produced no scorable pipeline"
+    return max(pipelines, key=lambda pr: pr.duration)
+
+
+def test_fig6_batch_sort_pipeline(harness, once):
+    """NLJ + batch sort: driver-only estimators overestimate (Fig. 6)."""
+    def compute():
+        db = generate_tpch(harness.scale.suite.tpch_rows, z=1.0, seed=7)
+        db.table("lineitem").create_index("l_orderkey")
+        # Seek on a secondary index delivers the outer in o_totalprice
+        # order, so the merge join on o_orderkey is unavailable and the
+        # optimized NLJ (batch sort + index seeks) wins — the Figure 6 plan.
+        db.table("orders").create_index("o_totalprice")
+        planner = Planner(db, build_statistics(db), PlannerConfig(
+            batch_sort_min_outer=100.0, cost_seek_probe=0.5,
+            batch_sort_initial=128, batch_sort_growth=2.0))
+        query = QuerySpec(
+            name="fig6", tables=["orders", "lineitem"],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+            filters=[FilterSpec("orders", "o_totalprice", "between",
+                                (20_000.0, 100_000.0))],
+            aggregates=[Aggregate("sum", "l_extendedprice")])
+        plan = planner.plan(query)
+        assert plan.find_all(Op.BATCH_SORT), "plan must contain a batch sort"
+        assert plan.find_all(Op.NESTED_LOOP_JOIN)
+        pr = _run_case(harness, db, plan, "fig6")
+        truth = pr.true_progress()
+        curves = {est.name: est.estimate(pr)
+                  for est in all_estimators()}
+        return pr, truth, curves
+
+    pr, truth, curves = once(compute)
+    print()
+    print(ascii_series(pr.times, truth, label="true progress"))
+    print(ascii_series(pr.times, curves["dne"], label="DNE estimate"))
+    print(ascii_series(pr.times, curves["batch_dne"], label="BATCHDNE estimate"))
+    errors = {name: l1_error(curve, truth) for name, curve in curves.items()}
+    table = format_table(["estimator", "L1"], sorted(errors.items()),
+                         title="Figure 6 — batch-sort pipeline errors")
+    print("\n" + table)
+    save_result("fig6_batchsort_case", table, {
+        "times": pr.times.tolist(), "truth": truth.tolist(),
+        "curves": {k: v.tolist() for k, v in curves.items()}})
+    # Figure 6 shape: DNE saturates early (overestimates); BATCHDNE is
+    # closer to the truth than DNE on this pipeline.
+    mid = len(truth) // 2
+    assert curves["dne"][mid] >= truth[mid] - 0.05
+    assert errors["batch_dne"] <= errors["dne"] + 0.01
+
+
+def test_fig7_hash_join_cardinality_error(harness, once):
+    """Complex hash join: TGN stuck on a bad estimate (Fig. 7)."""
+    def compute():
+        db = generate_tpch(harness.scale.suite.tpch_rows, z=2.0, seed=9)
+        planner = Planner(db, build_statistics(db))
+        query = QuerySpec(
+            name="fig7", tables=["orders", "lineitem", "part"],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+                   JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+            filters=[FilterSpec("part", "p_size", "<=", 25),
+                     FilterSpec("lineitem", "l_quantity", ">=", 10.0)],
+            aggregates=[Aggregate("sum", "l_extendedprice"),
+                        Aggregate("count")])
+        plan = planner.plan(query)
+        pr = _run_case(harness, db, plan, "fig7")
+        truth = pr.true_progress()
+        curves = {est.name: est.estimate(pr) for est in all_estimators()}
+        return pr, truth, curves
+
+    pr, truth, curves = once(compute)
+    print()
+    print(ascii_series(pr.times, truth, label="true progress"))
+    print(ascii_series(pr.times, curves["tgn"], label="TGN estimate"))
+    print(ascii_series(pr.times, curves["tgn_int"], label="TGNINT estimate"))
+    errors = {name: l1_error(curve, truth) for name, curve in curves.items()}
+    table = format_table(["estimator", "L1"], sorted(errors.items()),
+                         title="Figure 7 — hash-join pipeline errors")
+    print("\n" + table)
+    save_result("fig7_hashjoin_case", table, {
+        "times": pr.times.tolist(), "truth": truth.tolist(),
+        "curves": {k: v.tolist() for k, v in curves.items()}})
+    # sanity: estimators disagree materially on this pipeline
+    spread = max(errors.values()) - min(errors.values())
+    assert spread > 0.01

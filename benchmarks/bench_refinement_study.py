@@ -1,0 +1,70 @@
+"""§7 outlook: how far does better online cardinality refinement go?
+
+The paper closes by noting that (a) the idealized GetNext model with true
+cardinalities is far more accurate than any deployable estimator (§6.7)
+and (b) improved online refinement is therefore the most promising route.
+This study quantifies the refinement ladder on our substrate:
+
+  TGN with raw optimizer estimates (no refinement)
+  < TGN with worst-case bound clamping ([6], the paper's TGN)
+  < TGNINT (aggregate interpolation, eq. 8)
+  ~ TGNREF (per-node interpolation + bounds — our §7 extension)
+  < GetNext oracle (true cardinalities; unattainable)
+"""
+
+import numpy as np
+
+from repro.engine.run import PipelineRun
+from repro.experiments.results import format_table, save_result
+from repro.progress.base import ProgressEstimator, clip_progress, safe_divide
+from repro.progress.gold import GetNextOracle
+from repro.progress.metrics import l1_error
+from repro.progress.refined_tgn import RefinedTGNEstimator
+from repro.progress.tgn import TGNEstimator
+from repro.progress.tgnint import TGNIntEstimator
+
+
+class _UnrefinedTGN(ProgressEstimator):
+    """TGN frozen on the optimizer's initial estimates (no refinement)."""
+
+    name = "tgn_unrefined"
+
+    def estimate(self, pr: PipelineRun) -> np.ndarray:
+        total = float(pr.E0.sum())
+        return clip_progress(safe_divide(pr.K.sum(axis=1), max(total, 1e-12)))
+
+
+LADDER = [
+    ("no refinement", _UnrefinedTGN()),
+    ("bound clamping [6] (= paper TGN)", TGNEstimator()),
+    ("aggregate interpolation (TGNINT)", TGNIntEstimator()),
+    ("per-node interpolation (TGNREF, ours)", RefinedTGNEstimator()),
+    ("true cardinalities (oracle)", GetNextOracle()),
+]
+
+
+def test_refinement_ladder(harness, once):
+    def compute():
+        sums = {label: 0.0 for label, _ in LADDER}
+        count = 0
+        for workload in harness.suite.names:
+            for pr in harness.pipelines(workload):
+                truth = pr.true_progress()
+                for label, est in LADDER:
+                    sums[label] += l1_error(est.estimate(pr), truth)
+                count += 1
+        return {label: s / count for label, s in sums.items()}, count
+
+    averages, count = once(compute)
+    rows = [[label, value] for label, value in averages.items()]
+    table = format_table(["refinement strategy", "avg L1"], rows,
+                         title=f"§7 — refinement ladder over {count} pipelines")
+    print("\n" + table)
+    save_result("refinement_study", table, averages)
+
+    # The ladder's endpoints must order correctly; the middle rungs are
+    # reported (interpolation may win or lose per substrate).
+    assert averages["true cardinalities (oracle)"] \
+        <= min(v for k, v in averages.items() if "oracle" not in k)
+    assert averages["bound clamping [6] (= paper TGN)"] \
+        <= averages["no refinement"] + 1e-9

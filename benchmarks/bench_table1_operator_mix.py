@@ -1,0 +1,46 @@
+"""Table 1: fraction of pipelines containing each operator, per TPC-H design.
+
+The paper reports how physical design shifts the operator mix (fully tuned
+plans have far more index seeks, nested loops and batch sorts).  We
+reproduce the same six operator rows over our three TPC-H bundles.
+"""
+
+from repro.experiments.results import format_table, save_result
+from repro.plan.nodes import Op
+
+OPERATORS = [
+    ("NEST. LOOP JOIN", (Op.NESTED_LOOP_JOIN,)),
+    ("MERGE JOIN", (Op.MERGE_JOIN,)),
+    ("HASH JOIN/AGG.", (Op.HASH_JOIN, Op.HASH_AGG)),
+    ("INDEX SEEK", (Op.INDEX_SEEK,)),
+    ("BATCHSORT", (Op.BATCH_SORT,)),
+    ("STREAMAGG.", (Op.STREAM_AGG,)),
+]
+
+DESIGNS = ["tpch_untuned", "tpch_partial", "tpch_full"]
+
+
+def test_table1_operator_mix(harness, once):
+    def compute():
+        fractions = {}
+        for workload in DESIGNS:
+            pipelines = harness.pipelines(workload)
+            for label, ops in OPERATORS:
+                hits = sum(any(op in ops for op in pr.ops) for pr in pipelines)
+                fractions[(label, workload)] = hits / max(len(pipelines), 1)
+        return fractions
+
+    fractions = once(compute)
+    rows = [[label] + [f"{fractions[(label, w)]:.1%}" for w in DESIGNS]
+            for label, _ in OPERATORS]
+    table = format_table(["Operator", "untuned", "partially tuned", "fully tuned"],
+                         rows, title="Table 1 — operator mix per physical design")
+    print("\n" + table)
+    save_result("table1_operator_mix", table,
+                {f"{label}|{w}": fractions[(label, w)]
+                 for label, _ in OPERATORS for w in DESIGNS})
+    # Qualitative shape: tuning increases seek and NLJ prevalence.
+    assert fractions[("INDEX SEEK", "tpch_full")] \
+        > fractions[("INDEX SEEK", "tpch_untuned")]
+    assert fractions[("NEST. LOOP JOIN", "tpch_full")] \
+        >= fractions[("NEST. LOOP JOIN", "tpch_untuned")]

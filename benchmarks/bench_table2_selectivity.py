@@ -1,0 +1,29 @@
+"""Table 2: sensitivity to GetNext volume between training and test sets.
+
+The paper buckets TPC-H pipelines into small/medium/large total-GetNext
+groups, trains on two and tests on the third.  Accuracy of selection
+should not collapse even though the volumes differ.
+"""
+
+from repro.experiments.results import save_result
+
+from sensitivity import ORIGINAL3, groups_from_meta, run_sensitivity
+
+
+def test_table2_volume_sensitivity(harness, once):
+    def compute():
+        data = harness.training_data("tpch_partial", "dynamic")
+        data = data.restrict_estimators(ORIGINAL3)
+        buckets = harness.volume_buckets(data, n_buckets=3)
+        groups = groups_from_meta(data, buckets, 3)
+        return run_sensitivity(
+            groups, ["small queries", "medium queries", "large queries"],
+            harness.scale.mart_params(),
+            "Table 2 — varying total GetNext volume between train/test")
+
+    table, results = once(compute)
+    print("\n" + table)
+    save_result("table2_selectivity", table, results)
+    for label, rates in results.items():
+        # selection should never be drastically worse than the best fixed
+        assert rates["_sel_avg_l1"] <= rates["_best_fixed_avg_l1"] * 1.5

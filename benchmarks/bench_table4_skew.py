@@ -1,0 +1,62 @@
+"""Table 4: sensitivity to data skew between training and test sets.
+
+TPC-H databases generated with Zipf z in {0, 1, 2}; the same query
+workload runs against each, yielding very different plans and per-tuple
+work distributions.  Train on two skews, test on the third — the paper
+calls this "a serious test of our ability to generalize".
+"""
+
+import pytest
+
+from repro.catalog.statistics import build_statistics
+from repro.core.training import collect_training_data
+from repro.datagen.tpch import generate_tpch
+from repro.engine.executor import QueryExecutor
+from repro.experiments.results import save_result
+from repro.features.vector import FeatureExtractor
+from repro.optimizer.physical_design import DesignLevel, apply_design, design_for_workload
+from repro.optimizer.planner import Planner
+from repro.progress.registry import original_estimators
+from repro.workloads.tpch_queries import generate_tpch_workload
+
+from sensitivity import run_sensitivity
+
+SKEWS = (0.0, 1.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def skew_groups(harness):
+    """Training data per skew factor (same workload, same design level)."""
+    scale = harness.scale
+    queries = generate_tpch_workload(scale.suite.tpch_queries, seed=10)
+    estimators = original_estimators()
+    extractor = FeatureExtractor("dynamic")
+    groups = []
+    for z in SKEWS:
+        db = generate_tpch(scale.suite.tpch_rows, z=z, seed=7)
+        db.schema.name = f"tpch_skew_z{z:g}"
+        design = design_for_workload(db, queries, DesignLevel.PARTIAL)
+        apply_design(db, design)
+        planner = Planner(db, build_statistics(db))
+        pipelines = []
+        for i, query in enumerate(queries):
+            run = QueryExecutor(db, harness.executor_config(i)).execute(
+                planner.plan(query), query.name)
+            pipelines.extend(run.pipeline_runs(
+                scale.min_pipeline_observations))
+        groups.append(collect_training_data(pipelines, estimators, extractor))
+    return groups
+
+
+def test_table4_skew_sensitivity(harness, skew_groups, once):
+    def compute():
+        return run_sensitivity(
+            skew_groups, [f"skew Z={z:g}" for z in SKEWS],
+            harness.scale.mart_params(),
+            "Table 4 — varying the data skew between train/test")
+
+    table, results = once(compute)
+    print("\n" + table)
+    save_result("table4_skew", table, results)
+    for rates in results.values():
+        assert rates["_sel_avg_l1"] <= rates["_best_fixed_avg_l1"] * 1.6

@@ -1,0 +1,63 @@
+"""Table 5: sensitivity to data size between training and test sets.
+
+Three TPC-H databases at different scale factors (0.5x / 1x / 2x of the
+profile's size), same workload and design level; train on two sizes, test
+on the third.  The paper notes this is the hardest generalization axis.
+"""
+
+import pytest
+
+from repro.catalog.statistics import build_statistics
+from repro.core.training import collect_training_data
+from repro.datagen.tpch import generate_tpch
+from repro.engine.executor import QueryExecutor
+from repro.experiments.results import save_result
+from repro.features.vector import FeatureExtractor
+from repro.optimizer.physical_design import DesignLevel, apply_design, design_for_workload
+from repro.optimizer.planner import Planner
+from repro.progress.registry import original_estimators
+from repro.workloads.tpch_queries import generate_tpch_workload
+
+from sensitivity import run_sensitivity
+
+FACTORS = (0.5, 1.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def size_groups(harness):
+    scale = harness.scale
+    queries = generate_tpch_workload(scale.suite.tpch_queries, seed=10)
+    estimators = original_estimators()
+    extractor = FeatureExtractor("dynamic")
+    groups = []
+    for factor in FACTORS:
+        rows = max(int(scale.suite.tpch_rows * factor), 500)
+        db = generate_tpch(rows, z=1.0, seed=7)
+        db.schema.name = f"tpch_size_{factor:g}x"
+        design = design_for_workload(db, queries, DesignLevel.PARTIAL)
+        apply_design(db, design)
+        planner = Planner(db, build_statistics(db))
+        pipelines = []
+        for i, query in enumerate(queries):
+            run = QueryExecutor(db, harness.executor_config(i)).execute(
+                planner.plan(query), query.name)
+            pipelines.extend(run.pipeline_runs(
+                scale.min_pipeline_observations))
+        groups.append(collect_training_data(pipelines, estimators, extractor))
+    return groups
+
+
+def test_table5_data_size_sensitivity(harness, size_groups, once):
+    def compute():
+        return run_sensitivity(
+            size_groups, [f"{f:g}x data" for f in FACTORS],
+            harness.scale.mart_params(),
+            "Table 5 — varying the data size between train/test")
+
+    table, results = once(compute)
+    print("\n" + table)
+    save_result("table5_data_size", table, results)
+    for rates in results.values():
+        # the paper itself reports selection only roughly matching the best
+        # single estimator on this axis; require non-collapse only
+        assert rates["_sel_avg_l1"] <= rates["_best_fixed_avg_l1"] * 1.75

@@ -1,0 +1,53 @@
+"""Table 7: MART training times vs. examples x boosting iterations.
+
+The paper's point is operational: (re)training the selection models is
+cheap (seconds even at 60K examples), so a production system can keep
+re-fitting them from captured counters.  This benchmark measures our MART
+on the same grid shape (scaled down one notch: the paper's largest cell is
+60K x 1000).
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.results import format_table, save_result
+from repro.learning.mart import MARTParams, MARTRegressor
+
+EXAMPLES = (100, 500, 3_000, 6_000)
+ITERATIONS = (20, 50, 100, 200)
+N_FEATURES = 200
+
+
+def _dataset(n: int, rng: np.random.Generator):
+    X = rng.normal(size=(n, N_FEATURES))
+    y = X[:, 0] * 0.5 + np.sin(X[:, 1]) + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+def test_table7_training_times(benchmark):
+    rng = np.random.default_rng(0)
+    grid = {}
+
+    def measure_all():
+        for n in EXAMPLES:
+            X, y = _dataset(n, rng)
+            for m in ITERATIONS:
+                model = MARTRegressor(MARTParams(n_trees=m, max_leaves=30))
+                started = time.perf_counter()
+                model.fit(X, y)
+                grid[(n, m)] = time.perf_counter() - started
+        return grid
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    rows = [[f"{n:,}"] + [f"{grid[(n, m)]:.2f}s" for m in ITERATIONS]
+            for n in EXAMPLES]
+    table = format_table(["examples \\ M"] + [str(m) for m in ITERATIONS],
+                         rows, title="Table 7 — MART training times (seconds)")
+    print("\n" + table)
+    save_result("table7_training_times", table,
+                {f"{n}x{m}": t for (n, m), t in grid.items()})
+    # Operational claim: even the largest cell trains in well under a minute.
+    assert grid[(6_000, 200)] < 60.0
+    # Time grows with both axes.
+    assert grid[(6_000, 200)] > grid[(100, 20)]

@@ -1,0 +1,48 @@
+"""Table 8: how many estimators does selection actually need?
+
+Two questions, answered over all six workloads' pipelines:
+
+* "% (close to) optimal": could a single estimator serve as a default?
+  (Paper: no — none passes 50%.)
+* "% significantly outperforms": does each estimator uniquely win often
+  enough to stay in the candidate pool?  (Paper: all but DNE and PMAX win
+  >=2% of pipelines; DNE's wins are absorbed by BATCHDNE/DNESEEK, which
+  coincide with it whenever their extra operators are absent.)
+"""
+
+from repro.experiments.results import format_table, save_result
+from repro.progress.metrics import near_optimal_mask, significantly_outperforms
+
+
+def test_table8_estimator_necessity(harness, once):
+    def compute():
+        data = harness.pooled_training_data(list(harness.suite.names),
+                                            "dynamic")
+        near = near_optimal_mask(data.errors_l1)
+        wins = significantly_outperforms(data.errors_l1)
+        rows = []
+        for j, name in enumerate(data.estimator_names):
+            rows.append([
+                name,
+                float(near[:, j].mean()),
+                float((wins == j).mean()),
+            ])
+        return rows, data.n_examples
+
+    rows, n = once(compute)
+    table = format_table(
+        ["estimator", "% (close to) optimal", "% significantly outperforms"],
+        [[r[0], f"{r[1]:.1%}", f"{r[2]:.1%}"] for r in rows],
+        title=f"Table 8 — estimator necessity over {n} pipelines")
+    print("\n" + table)
+    save_result("table8_estimator_necessity", table,
+                {r[0]: {"near_optimal": r[1], "outperforms": r[2]}
+                 for r in rows})
+
+    by_name = {r[0]: r for r in rows}
+    # No single estimator is near-optimal on a large majority of pipelines.
+    assert max(r[1] for r in rows) < 0.85
+    # DNE rarely *uniquely* wins (its wins coincide with BATCHDNE/DNESEEK).
+    assert by_name["dne"][2] <= 0.05
+    # At least three estimators uniquely win somewhere: selection needs a pool.
+    assert sum(r[2] > 0.005 for r in rows) >= 3

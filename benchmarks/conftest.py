@@ -1,0 +1,86 @@
+"""Shared state for the reproduction benchmarks.
+
+One :class:`ExperimentHarness` per session: all benchmark files share the
+executed workloads, feature matrices and the expensive leave-one-out
+selector trainings.  Scale is controlled by ``REPRO_SCALE``
+(tiny / small / paper; default small).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import evaluate_selection
+from repro.core.training import TrainingData, train_selector
+from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scale import active_scale
+
+#: the selection pools compared in Figures 4/5
+ORIGINAL3 = ["dne", "tgn", "luo"]
+FULL6 = ["dne", "tgn", "luo", "batch_dne", "dne_seek", "tgn_int"]
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    return ExperimentHarness(active_scale(), seed=0)
+
+
+class LeaveOneOutCache:
+    """Lazily trains/evaluates leave-one-workload-out selectors."""
+
+    def __init__(self, harness: ExperimentHarness):
+        self.harness = harness
+        self._results: dict = {}
+
+    def result(self, test_workload: str, mode: str,
+               estimators: tuple[str, ...]):
+        """(selector_evaluation, test_data) for one configuration."""
+        key = (test_workload, mode, estimators)
+        if key not in self._results:
+            train, test = self.harness.leave_one_out(test_workload, mode)
+            train = train.restrict_estimators(list(estimators))
+            test = test.restrict_estimators(list(estimators))
+            selector = train_selector(train,
+                                      self.harness.scale.mart_params())
+            evaluation = evaluate_selection(
+                selector, test, name=f"sel[{mode},{len(estimators)}]")
+            self._results[key] = (evaluation, test, selector)
+        return self._results[key]
+
+    def pooled_test(self, mode: str,
+                    estimators: tuple[str, ...]) -> TrainingData:
+        """All six test sets concatenated (for Fig. 4/5 aggregates)."""
+        parts = [self.result(w, mode, estimators)[1]
+                 for w in self.harness.suite.names]
+        return TrainingData.concat(parts)
+
+    def pooled_chosen_errors(self, mode: str,
+                             estimators: tuple[str, ...]) -> np.ndarray:
+        """Chosen-estimator L1 errors across all leave-one-out folds."""
+        return np.concatenate([
+            self.result(w, mode, estimators)[0].chosen_errors_l1
+            for w in self.harness.suite.names])
+
+    def pooled_chosen_indices(self, mode: str,
+                              estimators: tuple[str, ...]) -> np.ndarray:
+        return np.concatenate([
+            self.result(w, mode, estimators)[0].chosen_indices
+            for w in self.harness.suite.names])
+
+
+@pytest.fixture(scope="session")
+def loo_cache(harness) -> LeaveOneOutCache:
+    return LeaveOneOutCache(harness)
+
+
+def run_once(benchmark, fn):
+    """Run an expensive reproduction exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+    return _run

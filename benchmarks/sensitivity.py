@@ -1,0 +1,69 @@
+"""Shared protocol for the §6.1 sensitivity experiments (Tables 2-5).
+
+Each sensitivity table partitions pipelines into three groups along some
+axis (GetNext volume, physical design, skew, data size), then three times
+trains the selector on two groups and tests on the third.  Reported per
+test group: the rate at which each fixed estimator is (close to) optimal
+(§6.6 tolerance rules) and the rate at which estimator selection picks a
+(close to) optimal estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluate import evaluate_choices
+from repro.core.training import TrainingData, train_selector
+from repro.experiments.results import format_table
+from repro.learning.mart import MARTParams
+from repro.progress.metrics import near_optimal_mask
+
+ORIGINAL3 = ["dne", "tgn", "luo"]
+
+
+def split_train_test(groups: list[TrainingData], test_index: int,
+                     ) -> tuple[TrainingData, TrainingData]:
+    train_parts = [g for i, g in enumerate(groups) if i != test_index]
+    return TrainingData.concat(train_parts), groups[test_index]
+
+
+def sensitivity_row(groups: list[TrainingData], test_index: int,
+                    mart_params: MARTParams) -> dict[str, float]:
+    """One experiment: train on all groups but ``test_index``."""
+    train, test = split_train_test(groups, test_index)
+    selector = train_selector(train, mart_params)
+    chosen = selector.select_indices(test.X)
+    near = near_optimal_mask(test.errors_l1)
+    rates = {name: float(near[:, j].mean())
+             for j, name in enumerate(test.estimator_names)}
+    evaluation = evaluate_choices("selection", test, chosen)
+    rates["EST. SEL."] = evaluation.optimal_rate
+    rates["_sel_avg_l1"] = evaluation.avg_l1
+    rates["_best_fixed_avg_l1"] = min(
+        float(test.errors_l1[:, j].mean())
+        for j in range(len(test.estimator_names)))
+    return rates
+
+
+def run_sensitivity(groups: list[TrainingData], labels: list[str],
+                    mart_params: MARTParams, title: str) -> tuple[str, dict]:
+    """Run all three folds and format the paper-style table."""
+    results = {label: sensitivity_row(groups, i, mart_params)
+               for i, label in enumerate(labels)}
+    estimators = groups[0].estimator_names + ["EST. SEL."]
+    rows = [[name.upper() if name != "EST. SEL." else name]
+            + [f"{results[label][name]:.1%}" for label in labels]
+            for name in estimators]
+    rows.append(["sel avg L1"]
+                + [f"{results[label]['_sel_avg_l1']:.4f}" for label in labels])
+    rows.append(["best fixed avg L1"]
+                + [f"{results[label]['_best_fixed_avg_l1']:.4f}"
+                   for label in labels])
+    table = format_table(["Estimator (% near-optimal)"] + labels, rows,
+                         title=title)
+    return table, results
+
+
+def groups_from_meta(data: TrainingData, group_of: np.ndarray,
+                     n_groups: int) -> list[TrainingData]:
+    return [data.subset(group_of == g) for g in range(n_groups)]

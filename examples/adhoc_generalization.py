@@ -1,0 +1,67 @@
+"""Ad-hoc generalization study (the paper's §6.2, as a script).
+
+Leave-one-workload-out over the six evaluation workloads: for each held-out
+workload, train the selection models on the other five and score on the
+held-out pipelines.  Prints a Figure-5-style summary table: average L1 for
+each fixed estimator, for estimator selection (static/dynamic features),
+and for the oracle lower bound.
+
+Run:  python examples/adhoc_generalization.py           (~2 minutes)
+      REPRO_SCALE=small python examples/adhoc_generalization.py  (bigger)
+"""
+
+import numpy as np
+
+from repro.core.evaluate import (
+    evaluate_fixed,
+    evaluate_oracle,
+    evaluate_selection,
+)
+from repro.core.training import train_selector
+from repro.experiments.harness import ExperimentHarness
+from repro.experiments.results import format_table
+from repro.experiments.scale import active_scale
+
+POOL = ["dne", "tgn", "luo", "batch_dne", "dne_seek", "tgn_int"]
+
+
+def main() -> None:
+    scale = active_scale(default="tiny")
+    print(f"scale profile: {scale.name}")
+    harness = ExperimentHarness(scale, seed=0)
+
+    per_method: dict[str, list[float]] = {}
+    optimal_rates: list[float] = []
+    for held_out in harness.suite.names:
+        print(f"hold out {held_out} ...")
+        results = {}
+        for mode in ("static", "dynamic"):
+            train, test = harness.leave_one_out(held_out, mode)
+            train = train.restrict_estimators(POOL)
+            test = test.restrict_estimators(POOL)
+            selector = train_selector(train, scale.mart_params())
+            evaluation = evaluate_selection(selector, test)
+            results[f"selection ({mode})"] = evaluation.avg_l1
+            if mode == "dynamic":
+                optimal_rates.append(evaluation.optimal_rate)
+                for name in POOL:
+                    results[name] = evaluate_fixed(test, name).avg_l1
+                results["oracle"] = evaluate_oracle(test).avg_l1
+        for method, value in results.items():
+            per_method.setdefault(method, []).append(value)
+
+    rows = sorted(((m, float(np.mean(vs))) for m, vs in per_method.items()),
+                  key=lambda r: r[1])
+    table = format_table(["method", "avg L1 (6-fold leave-one-out)"], rows,
+                         title="Ad-hoc generalization (paper §6.2 protocol)")
+    print("\n" + table)
+    print(f"\nselection picks a near-optimal estimator on "
+          f"{np.mean(optimal_rates):.0%} of held-out pipelines")
+    best_single = min(np.mean(per_method[n]) for n in POOL)
+    sel = np.mean(per_method["selection (dynamic)"])
+    print(f"best single estimator L1: {best_single:.4f}; "
+          f"selection (dynamic): {sel:.4f}")
+
+
+if __name__ == "__main__":
+    main()

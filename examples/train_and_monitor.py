@@ -1,0 +1,103 @@
+"""The paper's full deployment story, end to end.
+
+1. Execute a training workload (TPC-H variants + TPC-DS) and capture, per
+   pipeline, the ~200 features and every candidate estimator's error — the
+   cheap capture loop of §6.4.
+2. Train the MART-based estimator-selection models (static features and
+   static+dynamic features).
+3. Attach a ProgressMonitor to a *new, ad-hoc* query on a *different*
+   database (the Real-1 sales schema): the monitor picks an estimator per
+   pipeline from static features at pipeline start and revises the choice
+   once 20% of the driver input has been consumed (§4.4).
+
+Run:  python examples/train_and_monitor.py        (~1 minute)
+"""
+
+from repro.core.monitor import ProgressMonitor
+from repro.core.training import train_selector
+from repro.engine.executor import ExecutorConfig
+from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scale import TINY
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+
+
+def main() -> None:
+    harness = ExperimentHarness(TINY, seed=3)
+
+    print("Step 1: executing training workloads "
+          "(tpch x3 designs + tpcds) ...")
+    train_workloads = ["tpch_untuned", "tpch_partial", "tpch_full", "tpcds"]
+    static_data = harness.pooled_training_data(train_workloads, "static")
+    dynamic_data = harness.pooled_training_data(train_workloads, "dynamic")
+    print(f"  captured {static_data.n_examples} pipeline examples, "
+          f"{dynamic_data.X.shape[1]} features (dynamic mode)")
+
+    print("Step 2: training the per-estimator MART error models ...")
+    static_selector = train_selector(static_data, TINY.mart_params())
+    dynamic_selector = train_selector(dynamic_data, TINY.mart_params())
+    print(f"  trained {len(static_selector.models)} static models in "
+          f"{static_selector.training_seconds_:.1f}s, "
+          f"{len(dynamic_selector.models)} dynamic models in "
+          f"{dynamic_selector.training_seconds_:.1f}s")
+
+    print("Step 3: monitoring an ad-hoc query on an unseen database ...")
+    bundle = harness.suite.bundle("real1")  # never part of training
+    query = QuerySpec(
+        name="adhoc_report",
+        tables=["sales", "product", "category", "store", "calendar"],
+        joins=[JoinEdge("sales", "sale_product", "product", "prod_key"),
+               JoinEdge("product", "prod_category", "category", "cat_key"),
+               JoinEdge("sales", "sale_store", "store", "store_key"),
+               JoinEdge("sales", "sale_day", "calendar", "day_key")],
+        filters=[FilterSpec("calendar", "day_month", "<=", 6),
+                 FilterSpec("product", "prod_price", "<=", 60.0)],
+        group_by=["cat_department"],
+        aggregates=[Aggregate("sum", "sale_amount"), Aggregate("count")],
+        order_by=["sum_sale_amount"],
+    )
+    plan = bundle.planner.plan(query)
+    print(plan.pretty())
+
+    switches = []
+    last = {}
+
+    def watch(report):
+        for pid, name in report.pipeline_estimator.items():
+            if last.get(pid) != name:
+                switches.append((report.time, pid, last.get(pid), name))
+                last[pid] = name
+
+    monitor = ProgressMonitor(static_selector=static_selector,
+                              dynamic_selector=dynamic_selector,
+                              refresh_every=3, on_report=watch)
+    run, reports = monitor.run(bundle.db, plan, query_name=query.name,
+                               config=ExecutorConfig(seed=4, batch_size=128,
+                                                     target_observations=150))
+
+    print(f"\n  query finished in {run.total_time:,.1f} simulated seconds; "
+          f"{len(reports)} progress reports emitted")
+    print("  estimator choices over time (pipeline, old -> new):")
+    for t, pid, old, new in switches:
+        kind = "revised (dynamic)" if old else "initial (static)"
+        print(f"    t={t:8.1f}s  pipeline {pid}: "
+              f"{old or '-'} -> {new}   [{kind}]")
+
+    final = reports[-1]
+    print(f"  final reported progress: {final.progress:.1%}")
+
+    print("\nStep 4: was the selection any good? (offline comparison)")
+    from repro.progress import all_estimators
+    from repro.progress.metrics import evaluate_pipeline
+    for pr in run.pipeline_runs(min_observations=8):
+        chosen = last.get(pr.pid)
+        scored = {r.estimator: r.l1
+                  for r in evaluate_pipeline(pr, all_estimators())}
+        best = min(scored, key=scored.get)
+        print(f"  pipeline {pr.pid}: chose {chosen} "
+              f"(L1={scored.get(chosen, float('nan')):.3f}); "
+              f"best was {best} (L1={scored[best]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

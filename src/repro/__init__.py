@@ -1,0 +1,67 @@
+"""repro — a reproduction of König et al., "A Statistical Approach Towards
+Robust Progress Estimation" (VLDB 2011).
+
+The package is organized bottom-up (see DESIGN.md for the full map):
+
+* substrates: :mod:`repro.catalog`, :mod:`repro.datagen`, :mod:`repro.query`,
+  :mod:`repro.plan`, :mod:`repro.engine`, :mod:`repro.optimizer`;
+* the estimator zoo and metrics: :mod:`repro.progress`;
+* learning: :mod:`repro.features`, :mod:`repro.learning`;
+* the paper's contribution: :mod:`repro.core` (estimator selection and the
+  online progress monitor);
+* evaluation assets: :mod:`repro.workloads`, :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> from repro import quickstart_components
+>>> db, planner, executor = quickstart_components()
+(or see examples/quickstart.py for the end-to-end walkthrough.)
+"""
+
+from repro.core import (
+    EstimatorSelector,
+    ProgressMonitor,
+    collect_training_data,
+    evaluate_selection,
+    train_selector,
+)
+from repro.engine import ExecutorConfig, QueryExecutor
+from repro.features import FeatureExtractor
+from repro.learning import MARTParams, MARTRegressor
+from repro.progress import all_estimators, original_estimators
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EstimatorSelector",
+    "ProgressMonitor",
+    "collect_training_data",
+    "train_selector",
+    "evaluate_selection",
+    "QueryExecutor",
+    "ExecutorConfig",
+    "FeatureExtractor",
+    "MARTRegressor",
+    "MARTParams",
+    "all_estimators",
+    "original_estimators",
+    "quickstart_components",
+    "__version__",
+]
+
+
+def quickstart_components(lineitem_rows: int = 10_000, z: float = 1.0,
+                          seed: int = 7):
+    """Build a small skewed TPC-H database with a planner and an executor.
+
+    Convenience for interactive exploration; the examples and benchmarks
+    use :class:`repro.experiments.ExperimentHarness` instead.
+    """
+    from repro.catalog.statistics import build_statistics
+    from repro.datagen.tpch import generate_tpch
+    from repro.optimizer.planner import Planner
+
+    db = generate_tpch(lineitem_rows=lineitem_rows, z=z, seed=seed)
+    planner = Planner(db, build_statistics(db))
+    executor = QueryExecutor(db)
+    return db, planner, executor

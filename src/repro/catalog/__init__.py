@@ -1,0 +1,37 @@
+"""Catalog substrate: schemas, columnar tables, indexes and statistics.
+
+This package is the stand-in for the storage/catalog layer of the DBMS the
+paper instruments (SQL Server 2008).  It provides:
+
+* :class:`~repro.catalog.schema.Column`, :class:`~repro.catalog.schema.TableSchema`
+  and :class:`~repro.catalog.schema.DatabaseSchema` — metadata descriptions.
+* :class:`~repro.catalog.table.Table` and :class:`~repro.catalog.table.Database`
+  — columnar (NumPy) storage with clustered order and secondary indexes.
+* :class:`~repro.catalog.statistics.ColumnStatistics` /
+  :func:`~repro.catalog.statistics.build_statistics` — equi-depth histograms
+  and distinct counts used by the optimizer's cardinality estimation.
+"""
+
+from repro.catalog.schema import Column, DatabaseSchema, TableSchema
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    DatabaseStatistics,
+    EquiDepthHistogram,
+    TableStatistics,
+    build_statistics,
+)
+from repro.catalog.table import Database, SortedIndex, Table
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "DatabaseSchema",
+    "Table",
+    "Database",
+    "SortedIndex",
+    "EquiDepthHistogram",
+    "ColumnStatistics",
+    "TableStatistics",
+    "DatabaseStatistics",
+    "build_statistics",
+]

@@ -1,0 +1,104 @@
+"""Schema metadata: columns, tables and databases.
+
+Only numeric column types are supported (``int64`` / ``float64``).  String
+attributes of the original benchmarks are modelled as dictionary-encoded
+integer codes, which is how a column store would hold them anyway and is
+sufficient for progress estimation: what matters is cardinalities, widths
+and value distributions, not the bytes of the strings themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column of a table.
+
+    Parameters
+    ----------
+    name:
+        Globally unique column name.  Benchmark generators keep names unique
+        across a whole database (TPC-H style ``l_``/``o_`` prefixes) so that
+        joins never need qualified names.
+    dtype:
+        Either ``"int64"`` or ``"float64"``.
+    width:
+        Logical width in bytes of the column as it would be stored in a
+        row-oriented engine.  Used by the Bytes-Processed model of progress
+        (Luo et al.), which counts bytes read/written.
+    """
+
+    name: str
+    dtype: str = "int64"
+    width: int = 8
+
+    def __post_init__(self) -> None:
+        if self.dtype not in ("int64", "float64"):
+            raise ValueError(f"unsupported dtype {self.dtype!r} for column {self.name!r}")
+        if self.width <= 0:
+            raise ValueError(f"column {self.name!r} must have positive width")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table: named columns plus a primary key."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {self.name!r}")
+        for key in self.primary_key:
+            if key not in names:
+                raise ValueError(f"primary key column {key!r} not in table {self.name!r}")
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    @property
+    def row_width(self) -> int:
+        """Logical bytes per row (sum of column widths)."""
+        return sum(c.width for c in self.columns)
+
+
+@dataclass
+class DatabaseSchema:
+    """A named collection of table schemas."""
+
+    name: str
+    tables: dict[str, TableSchema] = field(default_factory=dict)
+
+    def add(self, table: TableSchema) -> None:
+        if table.name in self.tables:
+            raise ValueError(f"table {table.name!r} already in schema {self.name!r}")
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> TableSchema:
+        if name not in self.tables:
+            raise KeyError(f"no table {name!r} in schema {self.name!r}")
+        return self.tables[name]
+
+    def table_of_column(self, column: str) -> TableSchema:
+        """Find the unique table owning ``column``."""
+        owners = [t for t in self.tables.values() if t.has_column(column)]
+        if not owners:
+            raise KeyError(f"no table owns column {column!r}")
+        if len(owners) > 1:
+            names = [t.name for t in owners]
+            raise KeyError(f"column {column!r} is ambiguous across tables {names}")
+        return owners[0]

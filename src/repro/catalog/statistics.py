@@ -1,0 +1,145 @@
+"""Optimizer statistics: equi-depth histograms and distinct counts.
+
+These are deliberately the *classic* single-column statistics with the
+classic assumptions (uniformity within buckets, independence across
+predicates, containment for joins).  The point of the reproduction is that
+cardinality-estimation errors must arise *naturally* — on skewed data the
+independence assumption mis-estimates exactly the way a real optimizer
+does, and those errors are what make the TGN estimator fragile and the
+estimator-selection problem interesting (paper §4.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.table import Database, Table
+
+
+class EquiDepthHistogram:
+    """Equi-depth histogram over a numeric column."""
+
+    def __init__(self, values: np.ndarray, n_buckets: int = 32):
+        if len(values) == 0:
+            self.boundaries = np.array([0.0, 0.0])
+            self.counts = np.array([0.0])
+            self.n_rows = 0
+            self.n_distinct = 0
+            return
+        self.n_rows = len(values)
+        sorted_vals = np.sort(np.asarray(values, dtype=np.float64))
+        self.n_distinct = int(len(np.unique(sorted_vals)))
+        n_buckets = max(1, min(n_buckets, self.n_distinct))
+        # Bucket boundaries at quantiles; first boundary is the minimum.
+        quantiles = np.linspace(0.0, 1.0, n_buckets + 1)
+        self.boundaries = np.quantile(sorted_vals, quantiles)
+        # Exact counts per bucket (last bucket right-inclusive).
+        edges = self.boundaries.copy()
+        edges[-1] = np.nextafter(edges[-1], np.inf)
+        self.counts = np.histogram(sorted_vals, bins=edges)[0].astype(np.float64)
+
+    @property
+    def min_value(self) -> float:
+        return float(self.boundaries[0])
+
+    @property
+    def max_value(self) -> float:
+        return float(self.boundaries[-1])
+
+    def selectivity_range(self, low: float, high: float) -> float:
+        """Estimated fraction of rows with ``low <= value <= high``.
+
+        Uses linear interpolation within buckets (uniformity assumption).
+        """
+        if self.n_rows == 0 or high < low:
+            return 0.0
+        total = self.counts.sum()
+        if total == 0:
+            return 0.0
+        sel = 0.0
+        for i in range(len(self.counts)):
+            b_lo, b_hi = self.boundaries[i], self.boundaries[i + 1]
+            if b_hi < low or b_lo > high:
+                continue
+            span = b_hi - b_lo
+            if span <= 0:
+                overlap = 1.0 if low <= b_lo <= high else 0.0
+            else:
+                overlap = (min(high, b_hi) - max(low, b_lo)) / span
+                overlap = min(1.0, max(0.0, overlap))
+            sel += self.counts[i] * overlap
+        return float(min(1.0, sel / total))
+
+    def selectivity_eq(self, value: float) -> float:
+        """Estimated fraction of rows equal to ``value`` (uniform-ndv)."""
+        if self.n_rows == 0 or self.n_distinct == 0:
+            return 0.0
+        if value < self.min_value or value > self.max_value:
+            return 0.0
+        return 1.0 / self.n_distinct
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for one column."""
+
+    name: str
+    histogram: EquiDepthHistogram
+    n_distinct: int
+    min_value: float
+    max_value: float
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for one table: row count plus per-column stats."""
+
+    table: str
+    n_rows: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        if name not in self.columns:
+            raise KeyError(f"no statistics for column {name!r} of {self.table!r}")
+        return self.columns[name]
+
+
+@dataclass
+class DatabaseStatistics:
+    """Statistics for all tables of a database."""
+
+    database: str
+    tables: dict[str, TableStatistics] = field(default_factory=dict)
+
+    def table(self, name: str) -> TableStatistics:
+        if name not in self.tables:
+            raise KeyError(f"no statistics for table {name!r}")
+        return self.tables[name]
+
+
+def build_table_statistics(table: Table, n_buckets: int = 32) -> TableStatistics:
+    stats = TableStatistics(table=table.name, n_rows=table.n_rows)
+    for name, values in table.data.items():
+        hist = EquiDepthHistogram(values, n_buckets=n_buckets)
+        stats.columns[name] = ColumnStatistics(
+            name=name,
+            histogram=hist,
+            n_distinct=hist.n_distinct,
+            min_value=hist.min_value,
+            max_value=hist.max_value,
+        )
+    return stats
+
+
+def build_statistics(db: Database, n_buckets: int = 32) -> DatabaseStatistics:
+    """Build statistics for every table of ``db``.
+
+    ``n_buckets`` trades estimation quality for build time; 32 buckets is
+    roughly what commercial systems default to for small tables.
+    """
+    stats = DatabaseStatistics(database=db.name)
+    for name, table in db.tables.items():
+        stats.tables[name] = build_table_statistics(table, n_buckets=n_buckets)
+    return stats

@@ -1,0 +1,177 @@
+"""Columnar table storage with clustered order and secondary indexes.
+
+A :class:`Table` stores each column as one NumPy array.  Physical design is
+expressed through:
+
+* ``clustered_on`` — the column the rows are physically sorted by (the
+  clustered-index key); scans in that order feed merge joins and stream
+  aggregates without an explicit sort, and
+* :class:`SortedIndex` secondary indexes — position lists sorted by key that
+  serve equality/range seeks, including the inner side of index
+  nested-loop joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.schema import DatabaseSchema, TableSchema
+
+
+class SortedIndex:
+    """A secondary index: row positions ordered by key value.
+
+    Lookups are vectorized over a batch of probe keys, which is what the
+    executor's index-nested-loop join needs (one ``seek`` per outer batch).
+    """
+
+    def __init__(self, key: str, values: np.ndarray):
+        self.key = key
+        self.order = np.argsort(values, kind="stable")
+        self.sorted_values = np.ascontiguousarray(values[self.order])
+        self.n_rows = len(values)
+
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Find all rows matching each probe key.
+
+        Returns ``(positions, counts)`` where ``counts[j]`` is the number of
+        matches for ``keys[j]`` and ``positions`` concatenates the matching
+        row positions in probe order.
+        """
+        lo = np.searchsorted(self.sorted_values, keys, side="left")
+        hi = np.searchsorted(self.sorted_values, keys, side="right")
+        counts = hi - lo
+        positions = self.order[_expand_ranges(lo, counts)]
+        return positions, counts
+
+    def lookup_range(self, low, high) -> np.ndarray:
+        """Row positions with ``low <= key <= high`` (inclusive both ends)."""
+        lo = int(np.searchsorted(self.sorted_values, low, side="left"))
+        hi = int(np.searchsorted(self.sorted_values, high, side="right"))
+        return self.order[lo:hi]
+
+    def match_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Per-key match counts without materializing positions."""
+        lo = np.searchsorted(self.sorted_values, keys, side="left")
+        hi = np.searchsorted(self.sorted_values, keys, side="right")
+        return hi - lo
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + c)`` for each (s, c) pair, vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    base = np.repeat(starts, counts)
+    cum = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
+    return base + offsets
+
+
+class Table:
+    """A columnar table instance.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.catalog.schema.TableSchema` describing columns.
+    data:
+        Mapping of column name to NumPy array; all arrays must share length.
+    clustered_on:
+        Column the rows are physically ordered by, or ``None`` for heap
+        order.  The constructor does not re-sort; use :meth:`cluster_on`.
+    """
+
+    def __init__(self, schema: TableSchema, data: dict[str, np.ndarray],
+                 clustered_on: str | None = None):
+        lengths = {name: len(arr) for name, arr in data.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns in table {schema.name!r}: {lengths}")
+        missing = set(schema.column_names) - set(data)
+        if missing:
+            raise ValueError(f"table {schema.name!r} missing columns {sorted(missing)}")
+        self.schema = schema
+        self.data = {name: np.asarray(data[name]) for name in schema.column_names}
+        self.n_rows = 0 if not data else len(next(iter(self.data.values())))
+        self.clustered_on = clustered_on
+        self.indexes: dict[str, SortedIndex] = {}
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_width(self) -> int:
+        return self.schema.row_width
+
+    def column(self, name: str) -> np.ndarray:
+        return self.data[name]
+
+    def cluster_on(self, column: str) -> None:
+        """Physically sort the table rows by ``column`` (clustered index)."""
+        order = np.argsort(self.data[column], kind="stable")
+        self.data = {name: arr[order] for name, arr in self.data.items()}
+        self.clustered_on = column
+        # Any existing secondary indexes refer to old positions; rebuild.
+        for key in list(self.indexes):
+            self.create_index(key)
+
+    def create_index(self, column: str) -> SortedIndex:
+        """Create (or rebuild) a secondary index on ``column``."""
+        if column not in self.data:
+            raise KeyError(f"no column {column!r} in table {self.name!r}")
+        index = SortedIndex(column, self.data[column])
+        self.indexes[column] = index
+        return index
+
+    def drop_index(self, column: str) -> None:
+        self.indexes.pop(column, None)
+
+    def has_index(self, column: str) -> bool:
+        """True when seeks on ``column`` are possible (secondary or clustered)."""
+        return column in self.indexes or column == self.clustered_on
+
+    def seek_index(self, column: str) -> SortedIndex:
+        """Return an index usable for seeks on ``column``.
+
+        Falls back to a transient index over the clustered order when the
+        table is clustered on the column (a clustered index *is* an index).
+        """
+        if column in self.indexes:
+            return self.indexes[column]
+        if column == self.clustered_on:
+            return self.create_index(column)
+        raise KeyError(f"no index on {self.name}.{column}")
+
+    def is_sorted_on(self, column: str) -> bool:
+        return self.clustered_on == column
+
+
+@dataclass
+class Database:
+    """A named collection of table instances, plus the schema."""
+
+    schema: DatabaseSchema
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def add(self, table: Table) -> None:
+        self.tables[table.name] = table
+        if table.name not in self.schema.tables:
+            self.schema.add(table.schema)
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise KeyError(f"no table {name!r} in database {self.name!r}")
+        return self.tables[name]
+
+    def table_of_column(self, column: str) -> Table:
+        return self.table(self.schema.table_of_column(column).name)
+
+    def total_rows(self) -> int:
+        return sum(t.n_rows for t in self.tables.values())

@@ -1,0 +1,116 @@
+"""Selection-quality metrics (paper §6).
+
+Everything the paper's tables and figures report about a trained selector
+on a test set:
+
+* the fraction of pipelines where the selection is (close to) optimal
+  under the §6.6 tolerance rules,
+* the distribution of error-ratios to the per-pipeline optimum, including
+  the 2x/5x/10x tail fractions of Table 6,
+* average L1/L2 of the selection vs. each individual estimator vs. the
+  "oracle" selector that always picks the best (the lower bound discussed
+  in §6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.selection import EstimatorSelector
+from repro.core.training import TrainingData
+from repro.progress.metrics import near_optimal_mask
+
+RATIO_THRESHOLDS = (2.0, 5.0, 10.0)
+_RATIO_FLOOR = 1e-4
+
+
+@dataclass
+class SelectionEvaluation:
+    """Evaluation of one selector (or fixed estimator) on one test set."""
+
+    name: str
+    chosen_indices: np.ndarray
+    chosen_errors_l1: np.ndarray
+    chosen_errors_l2: np.ndarray
+    optimal_rate: float
+    avg_l1: float
+    avg_l2: float
+    ratio_tail: dict[float, float] = field(default_factory=dict)
+    per_estimator_l1: dict[str, float] = field(default_factory=dict)
+    per_estimator_optimal_rate: dict[str, float] = field(default_factory=dict)
+    oracle_l1: float = 0.0
+    oracle_l2: float = 0.0
+
+    def summary(self) -> str:
+        lines = [f"== {self.name} =="]
+        lines.append(f"  avg L1 {self.avg_l1:.4f}  avg L2 {self.avg_l2:.4f}  "
+                     f"optimal {self.optimal_rate:.1%}")
+        tail = "  ".join(f">{int(t)}x: {v:.1%}" for t, v in self.ratio_tail.items())
+        lines.append(f"  ratio tail: {tail}")
+        lines.append(f"  oracle L1 {self.oracle_l1:.4f}")
+        for est, l1 in self.per_estimator_l1.items():
+            rate = self.per_estimator_optimal_rate[est]
+            lines.append(f"    {est:>10}: L1 {l1:.4f}  optimal {rate:.1%}")
+        return "\n".join(lines)
+
+
+def ratios_to_optimum(errors: np.ndarray, chosen: np.ndarray) -> np.ndarray:
+    """Per-pipeline ratio of the chosen estimator's error to the minimum."""
+    best = errors.min(axis=1)
+    rows = np.arange(len(errors))
+    return ((errors[rows, chosen] + _RATIO_FLOOR)
+            / (best + _RATIO_FLOOR))
+
+
+def evaluate_choices(name: str, data: TrainingData,
+                     chosen: np.ndarray) -> SelectionEvaluation:
+    """Score an arbitrary per-pipeline choice vector against the test set."""
+    rows = np.arange(data.n_examples)
+    chosen_l1 = data.errors_l1[rows, chosen]
+    chosen_l2 = data.errors_l2[rows, chosen]
+    near = near_optimal_mask(data.errors_l1)
+    optimal_rate = float(near[rows, chosen].mean()) if data.n_examples else 0.0
+    ratios = ratios_to_optimum(data.errors_l1, chosen)
+    tail = {t: float((ratios > t).mean()) for t in RATIO_THRESHOLDS}
+    per_est_l1 = {est: float(data.errors_l1[:, j].mean())
+                  for j, est in enumerate(data.estimator_names)}
+    per_est_rate = {est: float(near[:, j].mean())
+                    for j, est in enumerate(data.estimator_names)}
+    return SelectionEvaluation(
+        name=name,
+        chosen_indices=chosen,
+        chosen_errors_l1=chosen_l1,
+        chosen_errors_l2=chosen_l2,
+        optimal_rate=optimal_rate,
+        avg_l1=float(chosen_l1.mean()) if data.n_examples else 0.0,
+        avg_l2=float(chosen_l2.mean()) if data.n_examples else 0.0,
+        ratio_tail=tail,
+        per_estimator_l1=per_est_l1,
+        per_estimator_optimal_rate=per_est_rate,
+        oracle_l1=float(data.errors_l1.min(axis=1).mean()) if data.n_examples else 0.0,
+        oracle_l2=float(data.errors_l2.min(axis=1).mean()) if data.n_examples else 0.0,
+    )
+
+
+def evaluate_selection(selector: EstimatorSelector, data: TrainingData,
+                       name: str = "estimator_selection") -> SelectionEvaluation:
+    """Evaluate a trained selector on held-out pipelines."""
+    if selector.estimator_names != data.estimator_names:
+        raise ValueError("selector and data disagree on estimator columns")
+    chosen = selector.select_indices(data.X)
+    return evaluate_choices(name, data, chosen)
+
+
+def evaluate_fixed(data: TrainingData, estimator: str) -> SelectionEvaluation:
+    """Evaluate always choosing one fixed estimator (the paper's baselines)."""
+    j = data.estimator_names.index(estimator)
+    chosen = np.full(data.n_examples, j, dtype=np.int64)
+    return evaluate_choices(estimator, data, chosen)
+
+
+def evaluate_oracle(data: TrainingData) -> SelectionEvaluation:
+    """The theoretical optimum: always pick the lowest-error estimator."""
+    chosen = np.argmin(data.errors_l1, axis=1)
+    return evaluate_choices("oracle", data, chosen)

@@ -1,0 +1,232 @@
+"""Online progress monitoring: the deployable face of the paper's system.
+
+A :class:`ProgressMonitor` attaches to a query execution and, at every
+observation tick, produces a :class:`ProgressReport`:
+
+* per pipeline, a progress estimate from the estimator the selection model
+  chose — chosen from *static* features when the pipeline starts, revised
+  once from *dynamic* features when 20% of the driver input has been
+  consumed (the paper's setting, §4.4);
+* the overall query progress as the ΣE-weighted combination of pipeline
+  estimates (eq. 5).
+
+Because the executor is synchronous, reports are produced causally inside
+the observation callback (a report at time *t* only uses counters up to
+*t*) and returned as a list; a live application would render them as they
+arrive via the ``on_report`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.catalog.table import Database
+from repro.core.selection import EstimatorSelector
+from repro.engine.executor import ExecContext, ExecutorConfig, QueryExecutor
+from repro.engine.run import PipelineRun, QueryRun
+from repro.features.vector import FeatureExtractor
+from repro.plan.nodes import Op, PlanNode
+from repro.progress.base import ProgressEstimator
+from repro.progress.registry import all_estimators
+
+
+@dataclass
+class ProgressReport:
+    """One snapshot of estimated query progress."""
+
+    time: float
+    progress: float
+    active_pid: int
+    active_estimator: str | None
+    pipeline_progress: dict[int, float] = field(default_factory=dict)
+    pipeline_estimator: dict[int, str] = field(default_factory=dict)
+
+
+class ProgressMonitor:
+    """Runs queries under online estimator selection.
+
+    Parameters
+    ----------
+    static_selector / dynamic_selector:
+        Trained :class:`EstimatorSelector` models over static and
+        static+dynamic features.  Either may be ``None``: with no selector
+        at all the monitor falls back to ``fallback`` (default DNE),
+        reproducing a conventional progress bar.
+    estimators:
+        Candidate pool; must cover the names both selectors emit.
+    refresh_every:
+        Recompute selections/estimates every k-th observation (estimates
+        between refreshes are cheap to interpolate but we simply skip).
+    """
+
+    def __init__(self,
+                 static_selector: EstimatorSelector | None = None,
+                 dynamic_selector: EstimatorSelector | None = None,
+                 estimators: list[ProgressEstimator] | None = None,
+                 fallback: str = "dne",
+                 dynamic_percent: float = 20.0,
+                 refresh_every: int = 5,
+                 on_report: Callable[[ProgressReport], None] | None = None):
+        self.static_selector = static_selector
+        self.dynamic_selector = dynamic_selector
+        pool = estimators if estimators is not None else all_estimators()
+        self.estimators = {est.name: est for est in pool}
+        if fallback not in self.estimators:
+            raise ValueError(f"fallback estimator {fallback!r} not in pool")
+        self.fallback = fallback
+        self.dynamic_percent = dynamic_percent
+        self.refresh_every = max(1, refresh_every)
+        self.on_report = on_report
+        self._static_extractor = FeatureExtractor("static")
+        self._dynamic_extractor = FeatureExtractor(
+            "dynamic", estimators=list(self.estimators.values()))
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, db: Database, plan: PlanNode, query_name: str = "query",
+            config: ExecutorConfig | None = None
+            ) -> tuple[QueryRun, list[ProgressReport]]:
+        """Execute ``plan`` and monitor it; returns the run and the reports."""
+        reports: list[ProgressReport] = []
+        state = _MonitorState()
+        if plan.node_id < 0:
+            plan.finalize()
+        nodes = list(plan.walk())
+
+        def observe(ctx: ExecContext) -> None:
+            state.ticks += 1
+            if state.ticks % self.refresh_every:
+                return
+            report = self._report(ctx, nodes, state)
+            reports.append(report)
+            if self.on_report is not None:
+                self.on_report(report)
+
+        executor = QueryExecutor(db, config=config, on_observation=observe)
+        run = executor.execute(plan, query_name=query_name)
+        return run, reports
+
+    # -- internals ----------------------------------------------------------
+
+    def _report(self, ctx: ExecContext, nodes: list[PlanNode],
+                state: "_MonitorState") -> ProgressReport:
+        now = ctx.clock.now
+        total_e = sum(max(n.est_rows, 0.0) for n in nodes) or 1.0
+        weights = {}
+        for pipe in ctx.pipelines:
+            weights[pipe.pid] = sum(
+                max(n.est_rows, 0.0) for n in pipe.nodes) / total_e
+        overall = 0.0
+        pipeline_progress: dict[int, float] = {}
+        active_pid, active_name = -1, None
+        for pipe in ctx.pipelines:
+            pid = pipe.pid
+            started = np.isfinite(ctx.pipe_first[pid])
+            terminal_done = bool(ctx.counters.done[pipe.terminal.node_id])
+            if not started:
+                pipeline_progress[pid] = 0.0
+                continue
+            if terminal_done:
+                pipeline_progress[pid] = 1.0
+                overall += weights[pid]
+                continue
+            pr = self._partial_pipeline_run(ctx, pipe)
+            if pr is None:
+                pipeline_progress[pid] = 0.0
+                continue
+            name = self._choose(pr, pid, state)
+            value = float(self.estimators[name].estimate(pr)[-1])
+            pipeline_progress[pid] = value
+            overall += weights[pid] * value
+            if pid > active_pid:
+                active_pid, active_name = pid, name
+        return ProgressReport(
+            time=now,
+            progress=float(min(overall, 1.0)),
+            active_pid=active_pid,
+            active_estimator=active_name,
+            pipeline_progress=pipeline_progress,
+            pipeline_estimator=dict(state.choices),
+        )
+
+    def _choose(self, pr: PipelineRun, pid: int, state: "_MonitorState") -> str:
+        """Static choice at pipeline start, revised once at the 20% marker."""
+        fraction = pr.driver_fraction()[-1]
+        if (self.dynamic_selector is not None
+                and fraction >= self.dynamic_percent / 100.0):
+            if pid not in state.dynamic_choices:
+                x = self._dynamic_extractor.extract(pr)
+                state.dynamic_choices[pid] = self.dynamic_selector.select_one(x)
+            state.choices[pid] = state.dynamic_choices[pid]
+            return state.dynamic_choices[pid]
+        if pid not in state.static_choices:
+            if self.static_selector is not None:
+                x = self._static_extractor.extract(pr)
+                state.static_choices[pid] = self.static_selector.select_one(x)
+            else:
+                state.static_choices[pid] = self.fallback
+        state.choices[pid] = state.static_choices[pid]
+        return state.static_choices[pid]
+
+    def _partial_pipeline_run(self, ctx: ExecContext,
+                              pipe) -> PipelineRun | None:
+        arrays = ctx.log.as_arrays()
+        t_start = float(ctx.pipe_first[pipe.pid])
+        mask = arrays["times"] >= t_start
+        if int(mask.sum()) < 2:
+            return None
+        cols = np.asarray(pipe.node_ids)
+        members = pipe.nodes
+        local = {nid: j for j, nid in enumerate(pipe.node_ids)}
+        parents = {}
+        for node in ctx.plan.walk():
+            for child in node.children:
+                parents[child.node_id] = node.node_id
+        parent_local = np.array([
+            local.get(parents.get(n.node_id, -1), -1) for n in members],
+            dtype=np.int64)
+        driver_set = set(pipe.driver_ids)
+        # Best current knowledge of totals: exact for finished nodes; for
+        # blocking sources the materialized input count (their child's K).
+        n_partial = np.array([n.est_rows for n in members])
+        for j, node in enumerate(members):
+            if ctx.counters.done[node.node_id]:
+                n_partial[j] = ctx.counters.K[node.node_id]
+            elif node.op in (Op.SORT, Op.HASH_AGG) and node.children:
+                child = node.children[0].node_id
+                if ctx.counters.done[child]:
+                    n_partial[j] = ctx.counters.K[child]
+        return PipelineRun(
+            pid=pipe.pid,
+            query_name="(online)",
+            db_name=ctx.db.name,
+            times=arrays["times"][mask],
+            t_start=t_start,
+            t_end=float(ctx.clock.now),
+            K=arrays["K"][np.ix_(mask, cols)],
+            R=arrays["R"][np.ix_(mask, cols)],
+            W=arrays["W"][np.ix_(mask, cols)],
+            LB=arrays["LB"][np.ix_(mask, cols)],
+            UB=arrays["UB"][np.ix_(mask, cols)],
+            E0=np.array([n.est_rows for n in members]),
+            N=n_partial,
+            widths=np.array([n.est_row_width for n in members]),
+            table_rows=np.array([
+                float(ctx.db.table(n.table).n_rows) if n.table else np.nan
+                for n in members]),
+            ops=[n.op for n in members],
+            driver_mask=np.array([n.node_id in driver_set for n in members]),
+            parent_local=parent_local,
+            node_ids=cols,
+        )
+
+
+@dataclass
+class _MonitorState:
+    ticks: int = 0
+    static_choices: dict[int, str] = field(default_factory=dict)
+    dynamic_choices: dict[int, str] = field(default_factory=dict)
+    choices: dict[int, str] = field(default_factory=dict)

@@ -1,0 +1,29 @@
+"""Data generation substrate.
+
+The paper evaluates on TPC-H (generated with Microsoft's skewed ``dbgen``
+variant), TPC-DS, and two proprietary decision-support databases.  None of
+those generators/datasets are available offline, so this package provides
+NumPy-based generators that preserve the properties progress estimation
+cares about: schema shape (fan-outs between tables), value skew (a Zipfian
+``z`` parameter, like the TPCD-Skew tool), and realistic row widths.
+
+* :mod:`repro.datagen.zipf` — seeded Zipfian sampling.
+* :mod:`repro.datagen.tpch` — the 8-table TPC-H schema, scaled + skewed.
+* :mod:`repro.datagen.tpcds` — a TPC-DS-shaped subset (3 facts, 7 dims).
+* :mod:`repro.datagen.sales` — "Real-1"/"Real-2"-shaped decision-support
+  schemas matching the join widths reported in the paper (5-8 and ~12).
+"""
+
+from repro.datagen.sales import generate_real1, generate_real2
+from repro.datagen.tpch import generate_tpch
+from repro.datagen.tpcds import generate_tpcds
+from repro.datagen.zipf import zipf_probabilities, zipf_sample
+
+__all__ = [
+    "zipf_probabilities",
+    "zipf_sample",
+    "generate_tpch",
+    "generate_tpcds",
+    "generate_real1",
+    "generate_real2",
+]

@@ -1,0 +1,157 @@
+"""TPC-DS-shaped database generator (a representative subset).
+
+The paper draws "over 200 randomly chosen queries from the TPC-DS
+benchmark" on a ~10GB database.  TPC-DS has 24 tables; progress-estimation
+behaviour is driven by its *snowflake* shape — multiple fact tables of very
+different sizes sharing conformed dimensions — so we generate the three
+sales fact tables and the seven most commonly joined dimensions.  Widths
+and fan-outs follow the specification's ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.schema import Column, DatabaseSchema, TableSchema
+from repro.catalog.table import Database, Table
+from repro.datagen.zipf import skewed_fanout, zipf_sample
+
+_N_DATES = 1_000  # date_dim days covered by the sales window
+
+
+def generate_tpcds(fact_rows: int = 40_000, z: float = 0.5,
+                   seed: int = 11) -> Database:
+    """Generate a TPC-DS-shaped :class:`~repro.catalog.table.Database`.
+
+    ``fact_rows`` sizes ``store_sales``; ``catalog_sales`` and ``web_sales``
+    are generated at the spec's ~2/3 and ~1/2 ratios.  TPC-DS data is
+    mildly skewed by design, hence the default ``z = 0.5``.
+    """
+    rng = np.random.default_rng(seed)
+    schema = DatabaseSchema(name="tpcds")
+    db = Database(schema=schema)
+
+    n_item = max(fact_rows // 25, 50)
+    n_customer = max(fact_rows // 15, 50)
+    n_address = max(n_customer // 2, 25)
+    n_store = 12
+    n_promo = 30
+    n_warehouse = 8
+
+    db.add(Table(TableSchema("date_dim", (
+        Column("d_date_sk"),
+        Column("d_year"),
+        Column("d_moy"),
+        Column("d_dow"),
+    ), primary_key=("d_date_sk",)), {
+        "d_date_sk": np.arange(_N_DATES),
+        "d_year": 1998 + np.arange(_N_DATES) // 365,
+        "d_moy": (np.arange(_N_DATES) // 30) % 12 + 1,
+        "d_dow": np.arange(_N_DATES) % 7,
+    }, clustered_on="d_date_sk"))
+
+    db.add(Table(TableSchema("item", (
+        Column("i_item_sk"),
+        Column("i_category", width=50),
+        Column("i_brand", width=50),
+        Column("i_current_price", "float64"),
+        Column("i_class", width=50),
+    ), primary_key=("i_item_sk",)), {
+        "i_item_sk": np.arange(n_item),
+        "i_category": zipf_sample(rng, n_item, 10, z, shuffle_ranks=True),
+        "i_brand": zipf_sample(rng, n_item, 100, z, shuffle_ranks=True),
+        "i_current_price": rng.uniform(0.5, 300.0, n_item).round(2),
+        "i_class": rng.integers(0, 16, n_item),
+    }, clustered_on="i_item_sk"))
+
+    db.add(Table(TableSchema("customer_dim", (
+        Column("cd_customer_sk"),
+        Column("cd_address_sk"),
+        Column("cd_birth_year"),
+    ), primary_key=("cd_customer_sk",)), {
+        "cd_customer_sk": np.arange(n_customer),
+        "cd_address_sk": rng.integers(0, n_address, n_customer),
+        "cd_birth_year": rng.integers(1930, 2000, n_customer),
+    }, clustered_on="cd_customer_sk"))
+
+    db.add(Table(TableSchema("customer_address", (
+        Column("ca_address_sk"),
+        Column("ca_state", width=2),
+        Column("ca_zip", width=10),
+    ), primary_key=("ca_address_sk",)), {
+        "ca_address_sk": np.arange(n_address),
+        "ca_state": zipf_sample(rng, n_address, 50, z, shuffle_ranks=True),
+        "ca_zip": rng.integers(0, 10_000, n_address),
+    }, clustered_on="ca_address_sk"))
+
+    db.add(Table(TableSchema("store", (
+        Column("st_store_sk"),
+        Column("st_state", width=2),
+        Column("st_floor_space"),
+    ), primary_key=("st_store_sk",)), {
+        "st_store_sk": np.arange(n_store),
+        "st_state": rng.integers(0, 10, n_store),
+        "st_floor_space": rng.integers(5_000_000, 10_000_000, n_store),
+    }, clustered_on="st_store_sk"))
+
+    db.add(Table(TableSchema("promotion", (
+        Column("pr_promo_sk"),
+        Column("pr_channel", width=16),
+    ), primary_key=("pr_promo_sk",)), {
+        "pr_promo_sk": np.arange(n_promo),
+        "pr_channel": rng.integers(0, 5, n_promo),
+    }, clustered_on="pr_promo_sk"))
+
+    db.add(Table(TableSchema("warehouse", (
+        Column("wh_warehouse_sk"),
+        Column("wh_sq_ft"),
+    ), primary_key=("wh_warehouse_sk",)), {
+        "wh_warehouse_sk": np.arange(n_warehouse),
+        "wh_sq_ft": rng.integers(50_000, 1_000_000, n_warehouse),
+    }, clustered_on="wh_warehouse_sk"))
+
+    def fact(prefix: str, n: int) -> dict[str, np.ndarray]:
+        date_fk = skewed_fanout(rng, _N_DATES, n, z / 2)
+        date_fk.sort()  # facts arrive in date order (clustered on date)
+        qty = 1 + zipf_sample(rng, n, 100, z, shuffle_ranks=True)
+        price = rng.uniform(0.5, 300.0, n)
+        return {
+            f"{prefix}_sold_date_sk": date_fk,
+            f"{prefix}_item_sk": skewed_fanout(rng, n_item, n, z),
+            f"{prefix}_customer_sk": skewed_fanout(rng, n_customer, n, z),
+            f"{prefix}_promo_sk": rng.integers(0, n_promo, n),
+            f"{prefix}_quantity": qty,
+            f"{prefix}_sales_price": price.round(2),
+            f"{prefix}_net_profit": (price * qty * rng.uniform(-0.1, 0.4, n)).round(2),
+        }
+
+    def fact_schema(name: str, prefix: str, extra: tuple[Column, ...] = ()) -> TableSchema:
+        return TableSchema(name, (
+            Column(f"{prefix}_sold_date_sk"),
+            Column(f"{prefix}_item_sk"),
+            Column(f"{prefix}_customer_sk"),
+            Column(f"{prefix}_promo_sk"),
+            Column(f"{prefix}_quantity"),
+            Column(f"{prefix}_sales_price", "float64"),
+            Column(f"{prefix}_net_profit", "float64"),
+        ) + extra)
+
+    n_ss = fact_rows
+    ss_data = fact("ss", n_ss)
+    ss_data["ss_store_sk"] = rng.integers(0, n_store, n_ss)
+    db.add(Table(fact_schema("store_sales", "ss", (Column("ss_store_sk"),)),
+                 ss_data, clustered_on="ss_sold_date_sk"))
+
+    n_cs = max(2 * fact_rows // 3, 100)
+    cs_data = fact("cs", n_cs)
+    cs_data["cs_warehouse_sk"] = rng.integers(0, n_warehouse, n_cs)
+    db.add(Table(fact_schema("catalog_sales", "cs", (Column("cs_warehouse_sk"),)),
+                 cs_data, clustered_on="cs_sold_date_sk"))
+
+    n_ws = max(fact_rows // 2, 100)
+    ws_data = fact("ws", n_ws)
+    ws_data["ws_warehouse_sk"] = rng.integers(0, n_warehouse, n_ws)
+    db.add(Table(fact_schema("web_sales", "ws", (Column("ws_warehouse_sk"),)),
+                 ws_data, clustered_on="ws_sold_date_sk"))
+
+    return db

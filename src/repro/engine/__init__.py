@@ -1,0 +1,40 @@
+"""Batch-vectorized Volcano execution engine with a simulated clock.
+
+This package is the reproduction's stand-in for the instrumented SQL Server
+engine the paper measures.  It executes physical plans over columnar NumPy
+tables for real (every join match, filter pass and aggregate group is
+computed from the data), while *time* comes from a cost model instead of a
+wall clock, which makes the "true progress" ground truth deterministic and
+laptop-friendly.
+
+The engine exposes exactly the paper's §3.1 counters, observed at regular
+points of (simulated) time:
+
+* ``K_i``  — GetNext calls issued at node *i* so far,
+* ``N_i``  — total GetNext calls at node *i* (known only at the end),
+* ``E_i``  — optimizer estimate of ``N_i`` (on the plan; refined by
+  estimators),
+* ``LB_i`` / ``UB_i`` — absolute bounds on ``N_i`` maintained online,
+* ``R_i`` / ``W_i``  — bytes logically read/written at node *i*.
+
+Spills (hash join, hash aggregate, sort) are modelled as additional
+GetNext calls plus read/write bytes at the spilling node, following the
+paper's convention (§3.1, counter (1)).
+"""
+
+from repro.engine.chunk import Chunk
+from repro.engine.clock import CostModel, SimClock
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.engine.memory import MemoryManager
+from repro.engine.run import PipelineRun, QueryRun
+
+__all__ = [
+    "Chunk",
+    "CostModel",
+    "SimClock",
+    "MemoryManager",
+    "QueryExecutor",
+    "ExecutorConfig",
+    "QueryRun",
+    "PipelineRun",
+]

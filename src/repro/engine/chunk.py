@@ -1,0 +1,74 @@
+"""Columnar batches flowing between operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Chunk:
+    """A batch of rows stored column-wise.
+
+    All operators exchange ``Chunk``s; an empty chunk is a legal result of a
+    selective filter and simply produces no downstream work.
+    """
+
+    __slots__ = ("data", "n_rows")
+
+    def __init__(self, data: dict[str, np.ndarray]):
+        self.data = data
+        self.n_rows = len(next(iter(data.values()))) if data else 0
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __contains__(self, column: str) -> bool:
+        return column in self.data
+
+    def column(self, name: str) -> np.ndarray:
+        return self.data[name]
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self.data)
+
+    def select(self, mask: np.ndarray) -> "Chunk":
+        """Rows where ``mask`` is True."""
+        return Chunk({name: arr[mask] for name, arr in self.data.items()})
+
+    def take(self, indices: np.ndarray) -> "Chunk":
+        """Gather rows by position (repeats allowed, e.g. join fan-out)."""
+        return Chunk({name: arr[indices] for name, arr in self.data.items()})
+
+    def slice(self, start: int, stop: int) -> "Chunk":
+        return Chunk({name: arr[start:stop] for name, arr in self.data.items()})
+
+    def merge(self, other: "Chunk") -> "Chunk":
+        """Column-wise combination of two equally long chunks (join output)."""
+        if other.n_rows != self.n_rows:
+            raise ValueError(f"merge length mismatch: {self.n_rows} vs {other.n_rows}")
+        overlap = set(self.data) & set(other.data)
+        if overlap:
+            raise ValueError(f"merge column collision: {sorted(overlap)}")
+        combined = dict(self.data)
+        combined.update(other.data)
+        return Chunk(combined)
+
+    @staticmethod
+    def concat(chunks: list["Chunk"]) -> "Chunk":
+        """Row-wise concatenation; all chunks must share columns."""
+        chunks = [c for c in chunks if c.n_rows > 0]
+        if not chunks:
+            return Chunk({})
+        if len(chunks) == 1:
+            return chunks[0]
+        names = chunks[0].columns
+        return Chunk({
+            name: np.concatenate([c.data[name] for c in chunks]) for name in names
+        })
+
+    @staticmethod
+    def empty(columns: list[str]) -> "Chunk":
+        return Chunk({name: np.empty(0, dtype=np.int64) for name in columns})
+
+    def __repr__(self) -> str:
+        return f"Chunk({self.n_rows} rows, cols={self.columns})"

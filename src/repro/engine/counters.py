@@ -1,0 +1,76 @@
+"""Per-node counter store and the observation log.
+
+The counter store holds the live values of the paper's §3.1 counters; the
+observation log snapshots them at (simulated-)time ticks, yielding the
+trajectories ``K_i^t``, ``R_i^t``, ``W_i^t``, ``LB_i^t``, ``UB_i^t`` that
+every progress estimator and every dynamic feature is computed from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Cap for upper bounds that are theoretically unbounded (join outputs).
+UNBOUNDED = 1.0e15
+
+
+class CounterStore:
+    """Live per-node counters for one query execution."""
+
+    def __init__(self, n_nodes: int):
+        self.n_nodes = n_nodes
+        self.K = np.zeros(n_nodes)
+        self.R = np.zeros(n_nodes)
+        self.W = np.zeros(n_nodes)
+        self.done = np.zeros(n_nodes, dtype=bool)
+        self.first_activity = np.full(n_nodes, np.nan)
+        self.last_activity = np.full(n_nodes, np.nan)
+
+    def record_activity(self, node_id: int, now: float) -> None:
+        if np.isnan(self.first_activity[node_id]):
+            self.first_activity[node_id] = now
+        self.last_activity[node_id] = now
+
+
+class ObservationLog:
+    """Snapshots of the counter store over time."""
+
+    def __init__(self, n_nodes: int):
+        self.n_nodes = n_nodes
+        self.times: list[float] = []
+        self._K: list[np.ndarray] = []
+        self._R: list[np.ndarray] = []
+        self._W: list[np.ndarray] = []
+        self._LB: list[np.ndarray] = []
+        self._UB: list[np.ndarray] = []
+
+    def snapshot(self, now: float, counters: CounterStore,
+                 lb: np.ndarray, ub: np.ndarray) -> None:
+        self.times.append(now)
+        self._K.append(counters.K.copy())
+        self._R.append(counters.R.copy())
+        self._W.append(counters.W.copy())
+        self._LB.append(lb.copy())
+        self._UB.append(ub.copy())
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last_time(self) -> float:
+        return self.times[-1] if self.times else -np.inf
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Materialize the log as dense arrays of shape ``(T, n_nodes)``."""
+        if not self.times:
+            empty = np.empty((0, self.n_nodes))
+            return {"times": np.empty(0), "K": empty, "R": empty.copy(),
+                    "W": empty.copy(), "LB": empty.copy(), "UB": empty.copy()}
+        return {
+            "times": np.asarray(self.times),
+            "K": np.vstack(self._K),
+            "R": np.vstack(self._R),
+            "W": np.vstack(self._W),
+            "LB": np.vstack(self._LB),
+            "UB": np.vstack(self._UB),
+        }

@@ -1,0 +1,59 @@
+"""Memory grants and spill accounting.
+
+Each memory-consuming operator (hash join build, hash aggregate, sort)
+requests a grant; whatever does not fit the per-operator budget spills.
+Spills matter to progress estimation in two ways, both modelled per the
+paper (§3.1): the spilled rows surface as *additional GetNext calls* at the
+spilling node (work the optimizer's ``E_i`` never anticipated), and the
+spill bytes surface in the read/write counters the Bytes-Processed model
+tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SpillDecision:
+    """Outcome of a memory grant request."""
+
+    requested_bytes: float
+    granted_bytes: float
+    spilled_bytes: float
+    spilled_rows: int
+
+    @property
+    def spilled(self) -> bool:
+        return self.spilled_rows > 0
+
+
+class MemoryManager:
+    """Fixed per-operator memory budget (workspace grant)."""
+
+    def __init__(self, budget_bytes: float = float(1 << 20)):
+        if budget_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        self.budget_bytes = float(budget_bytes)
+        self.total_spilled_bytes = 0.0
+        self.spill_events = 0
+
+    def request(self, rows: int, row_width: float) -> SpillDecision:
+        """Request memory for ``rows`` rows of ``row_width`` bytes each."""
+        requested = rows * row_width
+        granted = min(requested, self.budget_bytes)
+        spilled_bytes = max(0.0, requested - granted)
+        spilled_rows = 0
+        if spilled_bytes > 0 and row_width > 0:
+            spilled_rows = int(round(spilled_bytes / row_width))
+            spilled_rows = min(spilled_rows, rows)
+        decision = SpillDecision(
+            requested_bytes=requested,
+            granted_bytes=granted,
+            spilled_bytes=spilled_rows * row_width,
+            spilled_rows=spilled_rows,
+        )
+        if decision.spilled:
+            self.total_spilled_bytes += decision.spilled_bytes
+            self.spill_events += 1
+        return decision

@@ -1,0 +1,28 @@
+"""Experiment harness shared by ``benchmarks/`` and ``examples/``.
+
+* :mod:`repro.experiments.scale` — named scale profiles (``tiny`` /
+  ``small`` / ``paper``) selectable via the ``REPRO_SCALE`` environment
+  variable, so the same benchmark code runs as a quick check or a full
+  reproduction.
+* :mod:`repro.experiments.harness` — executes workloads, caches runs and
+  training matrices across benchmarks, and implements the train/test
+  splits of §6.1 (bucket by GetNext volume, by skew, by design, by size)
+  and §6.2 (leave-one-workload-out).
+* :mod:`repro.experiments.results` — table formatting and persistence of
+  reproduced tables/figures under ``results/``.
+"""
+
+from repro.experiments.harness import ExperimentHarness
+from repro.experiments.results import format_table, save_result
+from repro.experiments.scale import PAPER, SMALL, TINY, ScaleProfile, active_scale
+
+__all__ = [
+    "ExperimentHarness",
+    "ScaleProfile",
+    "TINY",
+    "SMALL",
+    "PAPER",
+    "active_scale",
+    "format_table",
+    "save_result",
+]

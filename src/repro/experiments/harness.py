@@ -1,0 +1,115 @@
+"""The shared experiment harness.
+
+Executes workloads once per process and caches the resulting pipelines and
+training matrices, so that every benchmark file (one per paper table or
+figure) reuses the same underlying runs.  Also hosts the train/test split
+helpers behind the sensitivity tables (§6.1) and the ad-hoc
+leave-one-workload-out protocol (§6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.training import (
+    TrainingData,
+    collect_training_data,
+    runs_to_pipelines,
+)
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.engine.run import PipelineRun, QueryRun
+from repro.experiments.scale import ScaleProfile, active_scale
+from repro.features.vector import FeatureExtractor
+from repro.progress.registry import all_estimators
+from repro.workloads.suite import WorkloadBundle, WorkloadSuite
+
+
+class ExperimentHarness:
+    """Caches workload runs / training data for one scale profile."""
+
+    def __init__(self, scale: ScaleProfile | None = None, seed: int = 0):
+        self.scale = scale or active_scale()
+        self.seed = seed
+        self.suite = WorkloadSuite(self.scale.suite, seed=seed)
+        self.estimators = all_estimators(include_worst_case=True)
+        self.estimator_names = [e.name for e in self.estimators]
+        self._runs: dict[str, list[QueryRun]] = {}
+        self._pipelines: dict[str, list[PipelineRun]] = {}
+        self._data: dict[tuple[str, str], TrainingData] = {}
+        self._extractors = {
+            "static": FeatureExtractor("static"),
+            "dynamic": FeatureExtractor("dynamic"),
+        }
+
+    # -- execution ------------------------------------------------------------
+
+    def executor_config(self, query_index: int = 0) -> ExecutorConfig:
+        return ExecutorConfig(
+            batch_size=self.scale.batch_size,
+            memory_budget_bytes=self.scale.memory_budget_bytes,
+            target_observations=self.scale.target_observations,
+            seed=self.seed * 100_003 + query_index,
+        )
+
+    def runs(self, workload: str) -> list[QueryRun]:
+        """Execute (once) and cache all queries of a workload."""
+        if workload not in self._runs:
+            bundle = self.suite.bundle(workload)
+            self._runs[workload] = self._execute_bundle(bundle)
+        return self._runs[workload]
+
+    def _execute_bundle(self, bundle: WorkloadBundle) -> list[QueryRun]:
+        runs = []
+        for i, query in enumerate(bundle.queries):
+            plan = bundle.planner.plan(query)
+            executor = QueryExecutor(bundle.db, self.executor_config(i))
+            runs.append(executor.execute(plan, query_name=query.name))
+        return runs
+
+    def pipelines(self, workload: str) -> list[PipelineRun]:
+        if workload not in self._pipelines:
+            self._pipelines[workload] = runs_to_pipelines(
+                self.runs(workload),
+                min_observations=self.scale.min_pipeline_observations)
+        return self._pipelines[workload]
+
+    # -- training data ------------------------------------------------------
+
+    def training_data(self, workload: str, mode: str = "dynamic") -> TrainingData:
+        """Feature/error matrices for one workload (cached)."""
+        key = (workload, mode)
+        if key not in self._data:
+            self._data[key] = collect_training_data(
+                self.pipelines(workload), self.estimators,
+                self._extractors[mode])
+        return self._data[key]
+
+    def pooled_training_data(self, workloads: list[str],
+                             mode: str = "dynamic") -> TrainingData:
+        return TrainingData.concat(
+            [self.training_data(w, mode) for w in workloads])
+
+    def leave_one_out(self, test_workload: str, mode: str = "dynamic"
+                      ) -> tuple[TrainingData, TrainingData]:
+        """§6.2 protocol: train on five workloads, test on the sixth."""
+        train_names = [w for w in self.suite.names if w != test_workload]
+        return (self.pooled_training_data(train_names, mode),
+                self.training_data(test_workload, mode))
+
+    # -- §6.1 split helpers -----------------------------------------------------
+
+    def volume_buckets(self, data: TrainingData,
+                       n_buckets: int = 3) -> np.ndarray:
+        """Bucket pipelines by total GetNext volume (Table 2's axis).
+
+        The paper sorts instances of each recurring pipeline by total
+        GetNext calls and splits into equal-sized small/medium/large
+        groups; with randomized template parameters, bucketing by volume
+        directly achieves the same small/medium/large contrast.
+        """
+        volumes = np.array([m["total_getnext"] for m in data.meta])
+        order = np.argsort(volumes, kind="stable")
+        buckets = np.empty(len(volumes), dtype=np.int64)
+        for b, chunk in enumerate(np.array_split(order, n_buckets)):
+            buckets[chunk] = b
+        return buckets

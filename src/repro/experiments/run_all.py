@@ -1,0 +1,73 @@
+"""Regenerate every reproduced table and figure in one pass.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` but as a plain
+script with progress logging — convenient for full-size runs:
+
+    python -m repro.experiments.run_all              # REPRO_SCALE=small
+    REPRO_SCALE=paper python -m repro.experiments.run_all
+
+Artifacts land under ``results/`` (override with ``REPRO_RESULTS_DIR``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.scale import active_scale
+
+BENCH_DIR = Path(__file__).resolve().parents[3] / "benchmarks"
+
+ORDER = [
+    "bench_fig1_error_ratios.py",
+    "bench_table1_operator_mix.py",
+    "bench_table2_selectivity.py",
+    "bench_table3_physical_design.py",
+    "bench_table4_skew.py",
+    "bench_table5_data_size.py",
+    "bench_fig4_adhoc.py",
+    "bench_table6_robustness.py",
+    "bench_fig5_l1_l2.py",
+    "bench_fig6_fig7_case_studies.py",
+    "bench_table7_training_times.py",
+    "bench_feature_importance.py",
+    "bench_table8_estimator_necessity.py",
+    "bench_model_validation.py",
+    "bench_ablations.py",
+]
+
+
+def main() -> int:
+    scale = active_scale()
+    print(f"Reproducing all tables/figures at scale '{scale.name}' "
+          f"(set REPRO_SCALE=tiny|small|paper to change).")
+    started = time.perf_counter()
+    failures = []
+    for name in ORDER:
+        path = BENCH_DIR / name
+        if not path.exists():
+            print(f"  !! missing benchmark {name}")
+            failures.append(name)
+            continue
+        print(f"== {name} ==", flush=True)
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", str(path), "--benchmark-only",
+             "-q", "-s"],
+            cwd=str(BENCH_DIR.parent))
+        if result.returncode != 0:
+            failures.append(name)
+    elapsed = time.perf_counter() - started
+    print(f"\nfinished in {elapsed/60:.1f} minutes; "
+          f"{len(ORDER) - len(failures)}/{len(ORDER)} benchmarks succeeded")
+    if failures:
+        print("failed:", ", ".join(failures))
+        return 1
+    print("results written under results/ — see EXPERIMENTS.md for the "
+          "paper-vs-measured reading guide")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

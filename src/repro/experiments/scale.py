@@ -1,0 +1,89 @@
+"""Scale profiles: one benchmark codebase, three sizes.
+
+``tiny`` keeps unit tests fast, ``small`` is the default for
+``pytest benchmarks/``, ``paper`` approaches the paper's query counts
+(yet still laptop-scale — the substrate is a simulator, see DESIGN.md).
+Select with ``REPRO_SCALE=tiny|small|paper``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.learning.mart import MARTParams
+from repro.workloads.suite import SuiteScale
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """All knobs that grow with reproduction fidelity."""
+
+    name: str
+    suite: SuiteScale
+    memory_budget_bytes: float
+    batch_size: int
+    target_observations: int
+    mart_trees: int
+    mart_leaves: int
+    min_pipeline_observations: int = 8
+
+    def mart_params(self, **overrides) -> MARTParams:
+        base = dict(n_trees=self.mart_trees, max_leaves=self.mart_leaves)
+        base.update(overrides)
+        return MARTParams(**base)
+
+
+TINY = ScaleProfile(
+    name="tiny",
+    suite=SuiteScale(
+        tpch_rows=5_000, tpcds_rows=4_000, real1_rows=4_000, real2_rows=4_000,
+        tpch_queries=32, tpcds_queries=16, real1_queries=16, real2_queries=16,
+    ),
+    memory_budget_bytes=float(96 << 10),
+    batch_size=512,
+    target_observations=120,
+    mart_trees=40,
+    mart_leaves=12,
+    min_pipeline_observations=6,
+)
+
+SMALL = ScaleProfile(
+    name="small",
+    suite=SuiteScale(
+        tpch_rows=20_000, tpcds_rows=12_000, real1_rows=15_000,
+        real2_rows=15_000,
+        tpch_queries=160, tpcds_queries=64, real1_queries=64, real2_queries=64,
+    ),
+    memory_budget_bytes=float(256 << 10),
+    batch_size=1024,
+    target_observations=200,
+    mart_trees=100,
+    mart_leaves=20,
+)
+
+PAPER = ScaleProfile(
+    name="paper",
+    suite=SuiteScale(
+        tpch_rows=60_000, tpcds_rows=40_000, real1_rows=50_000,
+        real2_rows=60_000,
+        tpch_queries=480, tpcds_queries=200, real1_queries=200,
+        real2_queries=200,
+    ),
+    memory_budget_bytes=float(1 << 20),
+    batch_size=1024,
+    target_observations=250,
+    mart_trees=200,   # the paper's M = 200
+    mart_leaves=30,   # the paper's 30-leaf trees
+)
+
+_PROFILES = {p.name: p for p in (TINY, SMALL, PAPER)}
+
+
+def active_scale(default: str = "small") -> ScaleProfile:
+    """Profile selected by ``REPRO_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    if name not in _PROFILES:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(_PROFILES)}, "
+                         f"got {name!r}")
+    return _PROFILES[name]

@@ -1,0 +1,107 @@
+"""Dynamic (execution-feedback) features of a pipeline (paper §4.4).
+
+Markers ``t{x}`` are the first observations where x% of the driver-node
+input has been consumed.  Two feature families, exactly as defined in
+§4.4.2:
+
+* pairwise estimator disagreement at the markers:
+  ``DNEvsTGN_x = |DNE(t{x}) - TGN(t{x})|`` for the pairs (DNE, TGN),
+  (DNE, TGNINT), (TGN, TGNINT) and x ∈ {1, 2, 5, 10, 20};
+* time-correlation of each estimator over a ladder of k = 4 sub-markers:
+  ``Cor_{E,i,x} = (Time(t{ix/k}) - Time(t0)) / (Time(t{x/k}) - Time(t0))
+  · 1 / E(t{x})`` for i = 1..4, measuring how linearly the estimator's
+  early trajectory maps onto elapsed time.
+
+All features stop at x = 20% — the paper's choice, since later refinements
+help progressively less.  Missing markers (driver input unknown or not yet
+consumed) are encoded with the sentinel ``-1`` and left to the trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.run import PipelineRun
+from repro.progress.base import ProgressEstimator
+
+DYNAMIC_X_PERCENTS: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0)
+CORRELATION_LADDER_K = 4
+MISSING = -1.0
+
+#: estimator pairs for the disagreement features (paper §6: DNEvsTGN,
+#: DNEvsTGNINT, TGNvsTGNINT)
+PAIRWISE = (("dne", "tgn"), ("dne", "tgn_int"), ("tgn", "tgn_int"))
+
+#: estimators whose time-correlation is encoded (paper §6)
+CORRELATED = ("dne", "tgn", "luo", "batch_dne", "dne_seek", "tgn_int")
+
+
+def dynamic_feature_names() -> list[str]:
+    names = []
+    for a, b in PAIRWISE:
+        for x in DYNAMIC_X_PERCENTS:
+            names.append(f"{a}_vs_{b}_at_{x:g}")
+    for est in CORRELATED:
+        for i in range(1, CORRELATION_LADDER_K + 1):
+            for x in DYNAMIC_X_PERCENTS:
+                names.append(f"cor_{est}_{i}_{x:g}")
+    return names
+
+
+def dynamic_features(pr: PipelineRun,
+                     estimators: dict[str, ProgressEstimator],
+                     estimates: dict[str, np.ndarray] | None = None,
+                     ) -> dict[str, float]:
+    """Compute the §4.4 features for one pipeline.
+
+    ``estimators`` maps names to instances covering at least the names in
+    :data:`PAIRWISE` and :data:`CORRELATED`.  Pre-computed full estimate
+    trajectories can be passed via ``estimates`` to avoid recomputation
+    (the estimators are causal, so slicing a full trajectory at a marker
+    equals computing it online).
+    """
+    estimates = dict(estimates) if estimates else {}
+    needed = {name for pair in PAIRWISE for name in pair} | set(CORRELATED)
+    for name in needed:
+        if name not in estimates:
+            estimates[name] = estimators[name].estimate(pr)
+    features: dict[str, float] = {}
+    markers = {x: pr.observation_at_driver_fraction(x)
+               for x in _all_marker_percents()}
+    elapsed = pr.times - pr.t_start
+
+    for a, b in PAIRWISE:
+        for x in DYNAMIC_X_PERCENTS:
+            t = markers[x]
+            if t is None:
+                features[f"{a}_vs_{b}_at_{x:g}"] = MISSING
+                continue
+            features[f"{a}_vs_{b}_at_{x:g}"] = float(
+                abs(estimates[a][t] - estimates[b][t]))
+
+    for est in CORRELATED:
+        traj = estimates[est]
+        for i in range(1, CORRELATION_LADDER_K + 1):
+            for x in DYNAMIC_X_PERCENTS:
+                name = f"cor_{est}_{i}_{x:g}"
+                t_x = markers[x]
+                t_base = markers[x / CORRELATION_LADDER_K]
+                t_i = markers[i * x / CORRELATION_LADDER_K]
+                if t_x is None or t_base is None or t_i is None:
+                    features[name] = MISSING
+                    continue
+                base_time = elapsed[t_base]
+                if base_time <= 0:
+                    features[name] = MISSING
+                    continue
+                value = (elapsed[t_i] / base_time) / max(traj[t_x], 1e-3)
+                features[name] = float(min(value, 1e4))
+    return features
+
+
+def _all_marker_percents() -> set[float]:
+    percents = set(DYNAMIC_X_PERCENTS)
+    for x in DYNAMIC_X_PERCENTS:
+        for i in range(1, CORRELATION_LADDER_K + 1):
+            percents.add(i * x / CORRELATION_LADDER_K)
+    return percents

@@ -1,0 +1,109 @@
+"""Static (pre-execution) features of a pipeline (paper §4.3).
+
+For every operator type ``op`` the paper encodes:
+
+* ``Count_op``   — number of instances in the pipeline ([11]'s encoding),
+* ``Card_op``    — summed estimated cardinality at those instances,
+* ``SelAt_op``   — ``Card_op`` relative to the pipeline's total ΣE,
+* ``SelAbove_op``— relative cardinality of nodes that have an ``op`` node
+  somewhere *below* them (their input subtrees contain an ``op``),
+* ``SelBelow_op``— relative cardinality of nodes that sit *below* an
+  ``op`` node (they feed into one),
+
+plus ``SelAtDN`` (relative cardinality of the driver nodes) and a few
+pipeline-level aggregates.  Relative cardinalities are the paper's key
+insight over [11]: absolute sizes matter for run-time prediction, but
+progress estimation cares about *proportions*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.run import PipelineRun
+from repro.plan.nodes import Op
+
+#: Fixed operator vocabulary so feature vectors align across pipelines.
+OPS_UNIVERSE: tuple[Op, ...] = (
+    Op.TABLE_SCAN,
+    Op.INDEX_SCAN,
+    Op.INDEX_SEEK,
+    Op.FILTER,
+    Op.NESTED_LOOP_JOIN,
+    Op.HASH_JOIN,
+    Op.MERGE_JOIN,
+    Op.SORT,
+    Op.BATCH_SORT,
+    Op.STREAM_AGG,
+    Op.HASH_AGG,
+    Op.TOP,
+)
+
+
+def _ancestor_matrix(parent_local: np.ndarray) -> np.ndarray:
+    """``(m, m)`` boolean: ``anc[i, j]`` iff node *i* is an ancestor of *j*.
+
+    Parents outside the pipeline are encoded as ``-1`` in ``parent_local``;
+    ancestry is computed within the pipeline only.
+    """
+    m = len(parent_local)
+    anc = np.zeros((m, m), dtype=bool)
+    for j in range(m):
+        p = parent_local[j]
+        while p >= 0:
+            anc[p, j] = True
+            p = parent_local[p]
+    return anc
+
+
+def static_feature_names() -> list[str]:
+    names: list[str] = []
+    for op in OPS_UNIVERSE:
+        for kind in ("count", "card", "sel_at", "sel_above", "sel_below"):
+            names.append(f"{kind}_{op.value}")
+    names += [
+        "sel_at_dn",
+        "n_nodes",
+        "n_drivers",
+        "log_total_e",
+        "log_driver_e",
+        "expansion",      # total E relative to driver E ("per-tuple work")
+        "driver_width",   # bytes per driver row (Bytes model scale)
+    ]
+    return names
+
+
+def static_features(pr: PipelineRun) -> dict[str, float]:
+    """Compute the §4.3 features for one pipeline."""
+    e0 = pr.E0
+    total_e = float(e0.sum())
+    denom = max(total_e, 1e-9)
+    ops = np.array([op.value for op in pr.ops])
+    anc = _ancestor_matrix(pr.parent_local)
+    features: dict[str, float] = {}
+    for op in OPS_UNIVERSE:
+        at_mask = ops == op.value
+        card = float(e0[at_mask].sum())
+        features[f"count_{op.value}"] = float(at_mask.sum())
+        features[f"card_{op.value}"] = card
+        features[f"sel_at_{op.value}"] = card / denom
+        if at_mask.any():
+            # nodes with an `op` node below them: ancestors of op nodes
+            above_mask = anc[:, at_mask].any(axis=1)
+            # nodes below an `op` node: descendants of op nodes
+            below_mask = anc[at_mask, :].any(axis=0)
+        else:
+            above_mask = np.zeros(len(ops), dtype=bool)
+            below_mask = above_mask
+        features[f"sel_above_{op.value}"] = float(e0[above_mask].sum()) / denom
+        features[f"sel_below_{op.value}"] = float(e0[below_mask].sum()) / denom
+    driver_e = float(e0[pr.driver_mask].sum())
+    features["sel_at_dn"] = driver_e / denom
+    features["n_nodes"] = float(pr.n_nodes)
+    features["n_drivers"] = float(pr.driver_mask.sum())
+    features["log_total_e"] = float(np.log1p(total_e))
+    features["log_driver_e"] = float(np.log1p(max(driver_e, 0.0)))
+    features["expansion"] = total_e / max(driver_e, 1e-9)
+    features["driver_width"] = float(pr.widths[pr.driver_mask].mean()) \
+        if pr.driver_mask.any() else 0.0
+    return features

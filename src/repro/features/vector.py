@@ -1,0 +1,66 @@
+"""Fixed-length feature-vector encoding with stable names.
+
+The extractor produces the same feature layout for every pipeline, so
+feature matrices from different workloads align.  Static-only mode uses
+§4.3 features; dynamic mode appends the §4.4 features (≈200 dimensions in
+total — the paper notes each training record is "about 200 double values").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.run import PipelineRun
+from repro.features.dynamic import dynamic_feature_names, dynamic_features
+from repro.features.static import static_feature_names, static_features
+from repro.progress.base import ProgressEstimator
+from repro.progress.registry import all_estimators
+
+_MODES = ("static", "dynamic")
+
+
+class FeatureExtractor:
+    """Pipeline -> fixed-length ``float64`` vector.
+
+    Parameters
+    ----------
+    mode:
+        ``"static"`` for pre-execution features only; ``"dynamic"`` for
+        static + execution-feedback features (the paper's best setting).
+    estimators:
+        Estimator instances used for the dynamic features; defaults to the
+        full §3.4 + §5 pool.
+    """
+
+    def __init__(self, mode: str = "dynamic",
+                 estimators: list[ProgressEstimator] | None = None):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        pool = estimators if estimators is not None else all_estimators()
+        self._estimators = {est.name: est for est in pool}
+        self._names = list(static_feature_names())
+        if mode == "dynamic":
+            self._names += dynamic_feature_names()
+
+    @property
+    def feature_names(self) -> list[str]:
+        return list(self._names)
+
+    @property
+    def n_features(self) -> int:
+        return len(self._names)
+
+    def extract(self, pr: PipelineRun,
+                estimates: dict[str, np.ndarray] | None = None) -> np.ndarray:
+        """Feature vector for one pipeline."""
+        values = static_features(pr)
+        if self.mode == "dynamic":
+            values.update(dynamic_features(pr, self._estimators, estimates))
+        return np.array([values[name] for name in self._names])
+
+    def extract_matrix(self, pipeline_runs: list[PipelineRun]) -> np.ndarray:
+        """``(n_pipelines, n_features)`` matrix."""
+        if not pipeline_runs:
+            return np.empty((0, self.n_features))
+        return np.vstack([self.extract(pr) for pr in pipeline_runs])

@@ -1,0 +1,32 @@
+"""From-scratch MART: Multiple Additive Regression Trees (paper §4.2).
+
+The paper's selection models are MART regressors — Friedman's stochastic
+gradient boosting [10] with binary regression trees as the base learner,
+least-squares loss, 200 boosting iterations and 30-leaf trees.  No gradient
+boosting library is available offline, so this package implements the
+algorithm directly:
+
+* :mod:`repro.learning.binning` — quantile pre-binning of features (the
+  histogram trick), which is also what lets MART "break the domain of each
+  feature arbitrarily" without input normalization — the property §4.2
+  credits for MART beating logistic regression / SVMs here;
+* :mod:`repro.learning.tree` — best-first regression trees grown to a leaf
+  budget with exact histogram split search (and parent-minus-sibling
+  histogram subtraction for speed);
+* :mod:`repro.learning.mart` — least-squares boosting with shrinkage and
+  optional stochastic subsampling.
+"""
+
+from repro.learning.binning import QuantileBinner
+from repro.learning.linear import RidgeRegressor
+from repro.learning.mart import MARTParams, MARTRegressor
+from repro.learning.tree import RegressionTree, TreeParams
+
+__all__ = [
+    "QuantileBinner",
+    "RegressionTree",
+    "TreeParams",
+    "MARTRegressor",
+    "MARTParams",
+    "RidgeRegressor",
+]

@@ -1,0 +1,54 @@
+"""Ridge regression baseline.
+
+The paper reports (§4.2) that MART clearly beat linear/logistic models for
+error prediction, crediting MART's insensitivity to feature scaling and its
+ability to split feature domains non-linearly.  This baseline exists to
+reproduce that comparison (see ``benchmarks/bench_ablations.py``): a
+standardized ridge regressor is the strongest linear contender that needs
+no tuning.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class RidgeRegressor:
+    """Least-squares linear model with L2 regularization and z-scoring."""
+
+    alpha: float = 1.0
+    coef_: np.ndarray | None = None
+    intercept_: float = 0.0
+    mean_: np.ndarray | None = None
+    scale_: np.ndarray | None = None
+    fit_seconds_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
+        started = time.perf_counter()
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) != len(y):
+            raise ValueError("X and y disagree on the number of samples")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        Z = (X - self.mean_) / self.scale_
+        n_features = Z.shape[1]
+        gram = Z.T @ Z + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, Z.T @ (y - y.mean()))
+        self.intercept_ = float(y.mean())
+        self.fit_seconds_ = time.perf_counter() - started
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        Z = (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+        return Z @ self.coef_ + self.intercept_

@@ -1,0 +1,117 @@
+"""JSON (de)serialization for trained models.
+
+A production system trains selection models offline (or continuously, per
+§6.4) and ships them to the monitoring component; that requires a stable,
+dependency-free on-disk format.  Everything here round-trips through plain
+JSON-compatible dicts — no pickle, so models can cross Python versions and
+be inspected by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.selection import EstimatorSelector
+from repro.learning.binning import QuantileBinner
+from repro.learning.mart import MARTParams, MARTRegressor
+from repro.learning.tree import RegressionTree, TreeParams
+
+FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: RegressionTree) -> dict[str, Any]:
+    if tree.feature is None:
+        raise ValueError("cannot serialize an unfitted tree")
+    return {
+        "feature": tree.feature.tolist(),
+        "threshold_bin": tree.threshold_bin.tolist(),
+        "left": tree.left.tolist(),
+        "right": tree.right.tolist(),
+        "value": tree.value.tolist(),
+        "max_leaves": tree.params.max_leaves,
+        "min_samples_leaf": tree.params.min_samples_leaf,
+    }
+
+
+def tree_from_dict(payload: dict[str, Any]) -> RegressionTree:
+    tree = RegressionTree(TreeParams(
+        max_leaves=payload["max_leaves"],
+        min_samples_leaf=payload["min_samples_leaf"]))
+    tree.feature = np.asarray(payload["feature"], dtype=np.int64)
+    tree.threshold_bin = np.asarray(payload["threshold_bin"], dtype=np.int64)
+    tree.left = np.asarray(payload["left"], dtype=np.int64)
+    tree.right = np.asarray(payload["right"], dtype=np.int64)
+    tree.value = np.asarray(payload["value"], dtype=np.float64)
+    return tree
+
+
+def mart_to_dict(model: MARTRegressor) -> dict[str, Any]:
+    if model.binner is None or model.binner.edges_ is None:
+        raise ValueError("cannot serialize an unfitted MART model")
+    params = model.params
+    return {
+        "format_version": FORMAT_VERSION,
+        "params": {
+            "n_trees": params.n_trees,
+            "learning_rate": params.learning_rate,
+            "max_leaves": params.max_leaves,
+            "min_samples_leaf": params.min_samples_leaf,
+            "subsample": params.subsample,
+            "max_bins": params.max_bins,
+            "random_state": params.random_state,
+        },
+        "init": model.init_,
+        "bin_edges": [edges.tolist() for edges in model.binner.edges_],
+        "trees": [tree_to_dict(tree) for tree in model.trees],
+    }
+
+
+def mart_from_dict(payload: dict[str, Any]) -> MARTRegressor:
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format "
+                         f"{payload.get('format_version')!r}")
+    model = MARTRegressor(MARTParams(**payload["params"]))
+    binner = QuantileBinner(model.params.max_bins)
+    binner.edges_ = [np.asarray(edges, dtype=np.float64)
+                     for edges in payload["bin_edges"]]
+    model.binner = binner
+    model.init_ = float(payload["init"])
+    model.trees = [tree_from_dict(t) for t in payload["trees"]]
+    return model
+
+
+def selector_to_dict(selector: EstimatorSelector) -> dict[str, Any]:
+    if not selector.is_fitted:
+        raise ValueError("cannot serialize an unfitted selector")
+    return {
+        "format_version": FORMAT_VERSION,
+        "estimator_names": list(selector.estimator_names),
+        "models": {name: mart_to_dict(model)
+                   for name, model in selector.models.items()},
+    }
+
+
+def selector_from_dict(payload: dict[str, Any]) -> EstimatorSelector:
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported selector format "
+                         f"{payload.get('format_version')!r}")
+    selector = EstimatorSelector(payload["estimator_names"])
+    selector.models = {name: mart_from_dict(m)
+                       for name, m in payload["models"].items()}
+    return selector
+
+
+def save_selector(selector: EstimatorSelector, path: str | Path) -> Path:
+    """Write a trained selector to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(selector_to_dict(selector)))
+    return path
+
+
+def load_selector(path: str | Path) -> EstimatorSelector:
+    """Read a selector previously written by :func:`save_selector`."""
+    return selector_from_dict(json.loads(Path(path).read_text()))

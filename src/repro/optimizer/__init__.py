@@ -1,0 +1,27 @@
+"""Planner substrate: cardinality estimation, physical design, plan building.
+
+The planner turns :class:`~repro.query.logical.QuerySpec` objects into
+physical plans with optimizer estimates ``E_i`` attached.  Estimation uses
+the classic histogram + independence + containment assumptions, so the
+estimation *errors* that challenge progress estimators arise from data
+skew and correlation the same way they do in a production optimizer.
+"""
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.physical_design import (
+    DesignLevel,
+    PhysicalDesign,
+    apply_design,
+    design_for_workload,
+)
+from repro.optimizer.planner import Planner, PlannerConfig
+
+__all__ = [
+    "CardinalityEstimator",
+    "DesignLevel",
+    "PhysicalDesign",
+    "apply_design",
+    "design_for_workload",
+    "Planner",
+    "PlannerConfig",
+]

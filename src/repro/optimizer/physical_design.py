@@ -1,0 +1,99 @@
+"""Physical design: index configurations at three tuning levels.
+
+The paper evaluates TPC-H under three designs (§6, Table 1): "untuned"
+(only integrity-constraint indexes), "fully tuned" (everything the Database
+Tuning Advisor recommends), and "partially tuned" (DTA restricted to half
+the fully-tuned space).  We reproduce the same axis with a deterministic
+advisor: candidates are the join and sargable-filter columns a workload
+touches; FULL takes all of them, PARTIAL takes the most frequently used
+candidates until half of FULL's space (rows as a proxy) is spent, UNTUNED
+takes none.  Different designs flip plans between hash joins and
+index-nested-loops, which is exactly the operator-mix shift Table 1
+documents.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.catalog.table import Database
+from repro.query.logical import QuerySpec
+
+
+class DesignLevel(str, Enum):
+    UNTUNED = "untuned"
+    PARTIAL = "partial"
+    FULL = "full"
+
+
+@dataclass
+class PhysicalDesign:
+    """A named set of secondary indexes: table -> indexed columns."""
+
+    name: str
+    indexes: dict[str, set[str]] = field(default_factory=dict)
+
+    def columns_for(self, table: str) -> set[str]:
+        return self.indexes.get(table, set())
+
+    def n_indexes(self) -> int:
+        return sum(len(cols) for cols in self.indexes.values())
+
+    def add(self, table: str, column: str) -> None:
+        self.indexes.setdefault(table, set()).add(column)
+
+
+def candidate_columns(queries: list[QuerySpec]) -> Counter:
+    """(table, column) candidates with their usage frequency in a workload."""
+    usage: Counter = Counter()
+    for query in queries:
+        for join in query.joins:
+            usage[(join.left_table, join.left_column)] += 1
+            usage[(join.right_table, join.right_column)] += 1
+        for filt in query.filters:
+            if filt.sargable:
+                usage[(filt.table, filt.column)] += 1
+    return usage
+
+
+def design_for_workload(db: Database, queries: list[QuerySpec],
+                        level: DesignLevel) -> PhysicalDesign:
+    """Deterministic tuning-advisor stand-in (see module docstring)."""
+    design = PhysicalDesign(name=level.value)
+    if level == DesignLevel.UNTUNED:
+        return design
+    usage = candidate_columns(queries)
+    # Exclude columns already served by the clustered index.
+    candidates = []
+    for (table, column), freq in usage.items():
+        tab = db.table(table)
+        if tab.clustered_on == column:
+            continue
+        candidates.append((freq, table, column, tab.n_rows))
+    if level == DesignLevel.FULL:
+        for _, table, column, _ in candidates:
+            design.add(table, column)
+        return design
+    # PARTIAL: highest benefit-per-byte first, up to half the FULL space.
+    full_space = sum(rows for _, _, _, rows in candidates)
+    budget = full_space / 2.0
+    spent = 0.0
+    ranked = sorted(candidates,
+                    key=lambda c: (-c[0] / max(c[3], 1), c[1], c[2]))
+    for freq, table, column, rows in ranked:
+        if spent + rows > budget and spent > 0:
+            continue
+        design.add(table, column)
+        spent += rows
+    return design
+
+
+def apply_design(db: Database, design: PhysicalDesign) -> None:
+    """Install ``design`` on ``db``: drop all secondary indexes, recreate."""
+    for table in db.tables.values():
+        for column in list(table.indexes):
+            table.drop_index(column)
+        for column in sorted(design.columns_for(table.name)):
+            table.create_index(column)

@@ -1,0 +1,335 @@
+"""Heuristic cost-based planner: QuerySpec -> physical PlanNode tree.
+
+Access paths, greedy join ordering and physical operator selection follow
+the standard rules a commercial optimizer applies:
+
+* a sargable filter on an indexed column below a selectivity threshold
+  becomes an INDEX_SEEK source, otherwise a scan plus residual FILTER;
+* joins are ordered greedily by estimated cost; each step picks hash,
+  merge (when both inputs arrive in key order) or index-nested-loop (when
+  the inner table is seekable on the join column) by comparing simple cost
+  formulas on the *estimated* cardinalities;
+* an index-nested-loop over a large outer gets a partial BATCH_SORT on the
+  outer side to localize inner references (§5.1; [9] §8.3) — including the
+  dynamically growing batch sizes that make progress estimation hard;
+* grouping uses stream aggregation when the input is already ordered,
+  hash aggregation for small group counts, and sort+stream otherwise.
+
+Every node receives the optimizer estimate ``E_i`` (``est_rows``) and an
+estimated row width; those estimates inherit all cardinality-estimation
+errors, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.statistics import DatabaseStatistics, build_statistics
+from repro.catalog.table import Database
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.plan.nodes import Op, PlanNode
+from repro.query.logical import JoinEdge, QuerySpec
+
+
+@dataclass
+class PlannerConfig:
+    """Thresholds and cost weights of the heuristic planner."""
+
+    seek_selectivity_threshold: float = 0.25
+    batch_sort_min_outer: float = 600.0
+    batch_sort_initial: int = 256
+    batch_sort_growth: float = 2.0
+    batch_sort_max: int = 1 << 14
+    batch_sort_io_discount: float = 0.55
+    hash_agg_max_groups: float = 100_000.0
+    hash_agg_max_group_fraction: float = 0.5
+    # relative per-row cost weights used only for plan choices
+    cost_seek_probe: float = 5.0
+    cost_hash_build: float = 1.8
+    cost_hash_probe: float = 1.0
+    cost_merge_row: float = 0.6
+    cost_output_row: float = 1.0
+
+
+@dataclass
+class _SubPlan:
+    """A partially built plan with its derived properties."""
+
+    node: PlanNode
+    est: float
+    width: float
+    order: str | None     # column the output is sorted by, if any
+    tables: set[str]
+
+
+class Planner:
+    """Builds physical plans for one database + statistics snapshot."""
+
+    def __init__(self, db: Database, stats: DatabaseStatistics | None = None,
+                 config: PlannerConfig | None = None):
+        self.db = db
+        self.stats = stats or build_statistics(db)
+        self.card = CardinalityEstimator(self.stats)
+        self.config = config or PlannerConfig()
+
+    # -- public API ---------------------------------------------------------
+
+    def plan(self, query: QuerySpec) -> PlanNode:
+        """Produce a finalized physical plan for ``query``."""
+        sub = self._join_phase(query)
+        if query.aggregates:
+            sub = self._aggregate(query, sub)
+        sub = self._order_and_top(query, sub)
+        return sub.node.finalize()
+
+    # -- access paths ---------------------------------------------------------
+
+    def _access_path(self, query: QuerySpec, table: str) -> _SubPlan:
+        tab = self.db.table(table)
+        filters = query.filters_on(table)
+        est_all = max(tab.n_rows * self.card.conjunction_selectivity(filters),
+                      0.01)
+        width = float(tab.row_width)
+        best_spec, best_sel = None, 1.0
+        for spec in filters:
+            if spec.sargable and tab.has_index(spec.column):
+                sel = self.card.filter_selectivity(spec)
+                if sel < best_sel:
+                    best_spec, best_sel = spec, sel
+        if best_spec is not None and best_sel <= self.config.seek_selectivity_threshold:
+            col_stats = self.stats.table(table).column(best_spec.column)
+            low, high = best_spec.seek_range(col_stats.min_value,
+                                             col_stats.max_value)
+            seek = PlanNode(Op.INDEX_SEEK, table=table,
+                            column=best_spec.column, low=low, high=high)
+            seek.est_rows = max(tab.n_rows * best_sel, 0.01)
+            seek.est_row_width = width
+            node, order = seek, best_spec.column
+            residual = [f for f in filters if f is not best_spec]
+            if residual:
+                node = PlanNode(Op.FILTER, [seek], predicates=residual)
+                node.est_rows = est_all
+                node.est_row_width = width
+        else:
+            scan_op = Op.INDEX_SCAN if tab.clustered_on else Op.TABLE_SCAN
+            scan = PlanNode(scan_op, table=table)
+            scan.est_rows = float(tab.n_rows)
+            scan.est_row_width = width
+            node, order = scan, tab.clustered_on
+            if filters:
+                node = PlanNode(Op.FILTER, [scan], predicates=filters)
+                node.est_rows = est_all
+                node.est_row_width = width
+        return _SubPlan(node, est_all, width, order, {table})
+
+    # -- joins -------------------------------------------------------------------
+
+    def _join_phase(self, query: QuerySpec) -> _SubPlan:
+        access = {t: self._access_path(query, t) for t in query.tables}
+        if len(query.tables) == 1:
+            return access[query.tables[0]]
+        # Start from the most *selective* table (filtered fraction of its
+        # base), the way a cost-based optimizer anchors the join order on
+        # the strongest predicate, not merely the smallest relation.
+        def selectivity(t: str) -> tuple[float, float]:
+            base = max(self.db.table(t).n_rows, 1)
+            return (access[t].est / base, access[t].est)
+
+        start = min(query.tables, key=selectivity)
+        current = access[start]
+        remaining = set(query.tables) - {start}
+        while remaining:
+            choice = self._best_next_join(query, current, access, remaining)
+            if choice is None:
+                raise ValueError(f"query {query.name!r}: join graph is disconnected")
+            edge, table = choice
+            current = self._build_join(query, current, access[table], edge, table)
+            remaining.discard(table)
+        return current
+
+    def _best_next_join(self, query: QuerySpec, current: _SubPlan,
+                        access: dict[str, _SubPlan],
+                        remaining: set[str]) -> tuple[JoinEdge, str] | None:
+        """Greedy min-intermediate-result: smallest estimated join output
+        first, ties broken by the cheapest physical method."""
+        best, best_key = None, (float("inf"), float("inf"))
+        for edge in query.joins:
+            sides = (edge.left_table, edge.right_table)
+            inside = [t for t in sides if t in current.tables]
+            outside = [t for t in sides if t in remaining]
+            if len(inside) != 1 or len(outside) != 1:
+                continue
+            table = outside[0]
+            join_est = self.card.join_cardinality(
+                current.est, access[table].est,
+                self._edge_ndv(edge, edge.other(table)),
+                self._edge_ndv(edge, table))
+            cost = self._cheapest_method(current, access[table], edge, table)[1]
+            key = (join_est, cost)
+            if key < best_key:
+                best, best_key = (edge, table), key
+        return best
+
+    def _cheapest_method(self, current: _SubPlan, target: _SubPlan,
+                         edge: JoinEdge, table: str) -> tuple[str, float]:
+        cfg = self.config
+        pcol = edge.column_for(edge.other(table))
+        tcol = edge.column_for(table)
+        join_est = self.card.join_cardinality(
+            current.est, target.est,
+            self._edge_ndv(edge, edge.other(table)),
+            self._edge_ndv(edge, table))
+        out_cost = cfg.cost_output_row * join_est
+        smaller, larger = sorted((current.est, target.est))
+        best = ("hash", cfg.cost_hash_build * smaller
+                + cfg.cost_hash_probe * larger + out_cost)
+        tab = self.db.table(table)
+        if tab.has_index(tcol):
+            raw = current.est * self.card.seek_fanout(table, tcol)
+            nlj_cost = (cfg.cost_seek_probe * current.est
+                        + 1.2 * raw + out_cost)
+            if (current.est >= cfg.batch_sort_min_outer
+                    and current.order != pcol):
+                # A partial batch sort on the outer localizes the inner
+                # seeks (the executor discounts sorted probes), making
+                # "optimized" NLJ competitive for medium outers — the plans
+                # behind the paper's Figure 6.
+                nlj_cost *= cfg.batch_sort_io_discount
+            if nlj_cost < best[1]:
+                best = ("nlj", nlj_cost)
+        if current.order == pcol and target.order == tcol:
+            merge_cost = (cfg.cost_merge_row * (current.est + target.est)
+                          + out_cost)
+            if merge_cost < best[1]:
+                best = ("merge", merge_cost)
+        return best
+
+    def _edge_ndv(self, edge: JoinEdge, table: str) -> int:
+        return self.card.ndv(table, edge.column_for(table))
+
+    def _build_join(self, query: QuerySpec, current: _SubPlan,
+                    target: _SubPlan, edge: JoinEdge, table: str) -> _SubPlan:
+        cfg = self.config
+        method = self._cheapest_method(current, target, edge, table)[0]
+        pcol = edge.column_for(edge.other(table))
+        tcol = edge.column_for(table)
+        join_est = max(self.card.join_cardinality(
+            current.est, target.est,
+            self._edge_ndv(edge, edge.other(table)),
+            self._edge_ndv(edge, table)), 0.01)
+        out_width = current.width + target.width
+
+        if method == "nlj":
+            return self._build_nlj(query, current, edge, table, pcol, tcol,
+                                   out_width)
+        if method == "merge":
+            node = PlanNode(Op.MERGE_JOIN, [current.node, target.node],
+                            outer_key=pcol, inner_key=tcol)
+            node.est_rows = join_est
+            node.est_row_width = out_width
+            return _SubPlan(node, join_est, out_width, pcol,
+                            current.tables | {table})
+        # hash join: build on the smaller estimated side
+        if target.est <= current.est:
+            probe, build = current, target
+            probe_key, build_key = pcol, tcol
+        else:
+            probe, build = target, current
+            probe_key, build_key = tcol, pcol
+        node = PlanNode(Op.HASH_JOIN, [probe.node, build.node],
+                        probe_key=probe_key, build_key=build_key)
+        node.est_rows = join_est
+        node.est_row_width = out_width
+        return _SubPlan(node, join_est, out_width, probe.order,
+                        current.tables | {table})
+
+    def _build_nlj(self, query: QuerySpec, current: _SubPlan, edge: JoinEdge,
+                   table: str, pcol: str, tcol: str,
+                   out_width: float) -> _SubPlan:
+        cfg = self.config
+        tab = self.db.table(table)
+        raw_total = max(current.est * self.card.seek_fanout(table, tcol), 0.01)
+        filters = query.filters_on(table)
+        filtered_total = max(
+            raw_total * self.card.conjunction_selectivity(filters), 0.01)
+
+        outer_node = current.node
+        order: str | None = current.order
+        if (current.est >= cfg.batch_sort_min_outer
+                and current.order != pcol):
+            batch = PlanNode(Op.BATCH_SORT, [outer_node], keys=[pcol],
+                             initial_batch=cfg.batch_sort_initial,
+                             growth=cfg.batch_sort_growth,
+                             max_batch=cfg.batch_sort_max)
+            batch.est_rows = current.est
+            batch.est_row_width = current.width
+            outer_node = batch
+            order = None  # batch-local order only
+
+        seek = PlanNode(Op.INDEX_SEEK, table=table, column=tcol)
+        seek.est_rows = raw_total
+        seek.est_row_width = float(tab.row_width)
+        inner: PlanNode = seek
+        if filters:
+            inner = PlanNode(Op.FILTER, [seek], predicates=filters)
+            inner.est_rows = filtered_total
+            inner.est_row_width = float(tab.row_width)
+        node = PlanNode(Op.NESTED_LOOP_JOIN, [outer_node, inner],
+                        outer_key=pcol)
+        node.est_rows = filtered_total
+        node.est_row_width = out_width
+        return _SubPlan(node, filtered_total, out_width, order,
+                        current.tables | {table})
+
+    # -- aggregation / ordering -----------------------------------------------
+
+    def _aggregate(self, query: QuerySpec, sub: _SubPlan) -> _SubPlan:
+        cfg = self.config
+        group_cols = list(query.group_by)
+        aggs = list(query.aggregates)
+        out_width = 8.0 * (len(group_cols) + len(aggs))
+        if not group_cols:
+            node = PlanNode(Op.STREAM_AGG, [sub.node], group_cols=[], aggs=aggs)
+            node.est_rows = 1.0
+            node.est_row_width = out_width
+            return _SubPlan(node, 1.0, out_width, None, sub.tables)
+        ndvs = [self.card.ndv(self.db.schema.table_of_column(c).name, c)
+                for c in group_cols]
+        groups = max(self.card.group_count(sub.est, ndvs), 1.0)
+        if len(group_cols) == 1 and sub.order == group_cols[0]:
+            node = PlanNode(Op.STREAM_AGG, [sub.node], group_cols=group_cols,
+                            aggs=aggs)
+            node.est_rows = groups
+            node.est_row_width = out_width
+            return _SubPlan(node, groups, out_width, group_cols[0], sub.tables)
+        if (groups <= cfg.hash_agg_max_groups
+                and groups <= cfg.hash_agg_max_group_fraction * max(sub.est, 1.0)):
+            node = PlanNode(Op.HASH_AGG, [sub.node], group_cols=group_cols,
+                            aggs=aggs)
+            node.est_rows = groups
+            node.est_row_width = out_width
+            return _SubPlan(node, groups, out_width, group_cols[0], sub.tables)
+        sort = PlanNode(Op.SORT, [sub.node], keys=group_cols)
+        sort.est_rows = sub.est
+        sort.est_row_width = sub.width
+        node = PlanNode(Op.STREAM_AGG, [sort], group_cols=group_cols, aggs=aggs)
+        node.est_rows = groups
+        node.est_row_width = out_width
+        return _SubPlan(node, groups, out_width, group_cols[0], sub.tables)
+
+    def _order_and_top(self, query: QuerySpec, sub: _SubPlan) -> _SubPlan:
+        if query.order_by:
+            already = (len(query.order_by) == 1
+                       and sub.order == query.order_by[0])
+            if not already:
+                sort = PlanNode(Op.SORT, [sub.node], keys=list(query.order_by))
+                sort.est_rows = sub.est
+                sort.est_row_width = sub.width
+                sub = _SubPlan(sort, sub.est, sub.width, query.order_by[0],
+                               sub.tables)
+        if query.top is not None:
+            top = PlanNode(Op.TOP, [sub.node], k=query.top)
+            top.est_rows = min(float(query.top), sub.est)
+            top.est_row_width = sub.width
+            sub = _SubPlan(top, top.est_rows, sub.width, sub.order, sub.tables)
+        return sub

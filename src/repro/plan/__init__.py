@@ -1,0 +1,21 @@
+"""Physical plan representation and pipeline decomposition.
+
+* :mod:`repro.plan.nodes` — the operator vocabulary (:class:`Op`) and the
+  :class:`PlanNode` tree, mirroring the paper's ``Nodes(Q)`` /
+  ``Descendants(i)`` notation (§3.1).
+* :mod:`repro.plan.pipelines` — decomposition of a plan into pipelines /
+  segments with driver nodes, per Chaudhuri et al. [6] and Luo et al. [13]
+  (§3.2).
+"""
+
+from repro.plan.nodes import BLOCKING_OPS, Op, PlanNode, SOURCE_OPS
+from repro.plan.pipelines import Pipeline, decompose_pipelines
+
+__all__ = [
+    "Op",
+    "PlanNode",
+    "BLOCKING_OPS",
+    "SOURCE_OPS",
+    "Pipeline",
+    "decompose_pipelines",
+]

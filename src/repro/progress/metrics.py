@@ -1,0 +1,118 @@
+"""Error metrics and (near-)optimality rules (paper §6).
+
+The paper's headline metric is the absolute difference between estimated
+and true (time-based) progress, averaged over a pipeline's observations —
+reported in both L1 and L2 norms.  Ratio error is retained for the
+worst-case discussion.  §6.6 defines the tolerance rules used for
+"(close to) optimal" and "significantly outperforms", reproduced here
+verbatim (absolute tolerance 0.01, relative tolerance 1%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.run import PipelineRun
+from repro.progress.base import ProgressEstimator
+
+ABS_TOLERANCE = 0.01
+REL_TOLERANCE = 0.01
+
+
+def l1_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute deviation over the observations."""
+    if len(estimate) == 0:
+        return 0.0
+    return float(np.mean(np.abs(estimate - truth)))
+
+
+def l2_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Root-mean-square deviation over the observations."""
+    if len(estimate) == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((estimate - truth) ** 2)))
+
+
+def ratio_error(estimate: np.ndarray, truth: np.ndarray,
+                floor: float = 1e-3) -> float:
+    """Worst multiplicative deviation max(est/true, true/est) over time."""
+    if len(estimate) == 0:
+        return 1.0
+    est = np.maximum(estimate, floor)
+    tru = np.maximum(truth, floor)
+    return float(np.max(np.maximum(est / tru, tru / est)))
+
+
+@dataclass
+class ErrorReport:
+    """Errors of one estimator on one pipeline."""
+
+    estimator: str
+    l1: float
+    l2: float
+    ratio: float
+
+
+def evaluate_pipeline(pr: PipelineRun,
+                      estimators: list[ProgressEstimator]) -> list[ErrorReport]:
+    """Score every estimator against the pipeline's time-based truth."""
+    truth = pr.true_progress()
+    reports = []
+    for est in estimators:
+        values = est.estimate(pr)
+        reports.append(ErrorReport(
+            estimator=est.name,
+            l1=l1_error(values, truth),
+            l2=l2_error(values, truth),
+            ratio=ratio_error(values, truth),
+        ))
+    return reports
+
+
+def error_matrix(pipeline_runs: list[PipelineRun],
+                 estimators: list[ProgressEstimator],
+                 metric: str = "l1") -> np.ndarray:
+    """``(n_pipelines, n_estimators)`` error matrix for one metric."""
+    if metric not in ("l1", "l2", "ratio"):
+        raise ValueError(f"unknown metric {metric!r}")
+    rows = []
+    for pr in pipeline_runs:
+        reports = evaluate_pipeline(pr, estimators)
+        rows.append([getattr(r, metric) for r in reports])
+    return np.asarray(rows, dtype=np.float64).reshape(len(rows), len(estimators))
+
+
+def near_optimal_mask(errors: np.ndarray, abs_tol: float = ABS_TOLERANCE,
+                      rel_tol: float = REL_TOLERANCE) -> np.ndarray:
+    """§6.6's "(close to) optimal" rule, rowwise over an error matrix.
+
+    An estimator is near-optimal on a pipeline when it (a) is the optimum,
+    (b) is within ``abs_tol`` of the optimum absolutely, or (c) is within
+    ``rel_tol`` of the optimum relatively.
+    """
+    errors = np.atleast_2d(errors)
+    best = errors.min(axis=1, keepdims=True)
+    return ((errors <= best + abs_tol)
+            | (errors <= best * (1.0 + rel_tol)))
+
+
+def significantly_outperforms(errors: np.ndarray,
+                              abs_margin: float = ABS_TOLERANCE,
+                              rel_margin: float = REL_TOLERANCE) -> np.ndarray:
+    """§6.6's "significantly outperforms all others" rule.
+
+    Returns, per row, the index of the estimator that (a) has the lowest
+    error, (b) beats the runner-up by more than ``abs_margin`` absolutely
+    and (c) by more than ``rel_margin`` relatively — or ``-1`` when no
+    estimator qualifies.
+    """
+    errors = np.atleast_2d(errors)
+    order = np.argsort(errors, axis=1)
+    best_idx = order[:, 0]
+    rows = np.arange(len(errors))
+    best = errors[rows, best_idx]
+    second = errors[rows, order[:, 1]] if errors.shape[1] > 1 else np.inf
+    wins = (second - best > abs_margin) & (second > best * (1.0 + rel_margin))
+    return np.where(wins, best_idx, -1)

@@ -1,0 +1,84 @@
+"""Query-level progress from per-pipeline estimators (paper eq. 5).
+
+Estimator selection operates per pipeline; the progress of the whole
+query is the ΣE-weighted combination of the pipelines' estimates:
+
+``DNE_Q = Σ_Pj DNE_Pj · (Σ_{i∈Pj} E_i / Σ_{i∈Nodes(Q)} E_i)``
+
+(and identically for any other per-pipeline estimator, or for a *mixed*
+assignment where each pipeline uses the estimator the selector chose for
+it).  This module evaluates that combination offline over a recorded
+:class:`~repro.engine.run.QueryRun`: at every observation, pipelines that
+have finished contribute their full weight, the active pipeline
+contributes its estimate, and future pipelines contribute nothing — the
+deployable semantics of :class:`repro.core.monitor.ProgressMonitor`, made
+reproducible for evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.run import QueryRun
+from repro.progress.base import ProgressEstimator
+
+
+def pipeline_weights(run: QueryRun) -> dict[int, float]:
+    """ΣE_i of each pipeline, normalized over the whole plan (eq. 5)."""
+    est_by_node = {n.node_id: max(n.est_rows, 0.0) for n in run.nodes}
+    total = sum(est_by_node.values()) or 1.0
+    return {p.pid: sum(est_by_node[i] for i in p.node_ids) / total
+            for p in run.pipelines}
+
+
+def query_progress(run: QueryRun,
+                   assignment: dict[int, ProgressEstimator],
+                   min_observations: int = 3) -> np.ndarray:
+    """Query-level progress trajectory under a per-pipeline assignment.
+
+    ``assignment`` maps pipeline id -> estimator; pipelines without an
+    entry (or too short to score) contribute step functions (0 before
+    their window, their weight after), which is also how un-scorable
+    build pipelines behave in the online monitor.
+    """
+    weights = pipeline_weights(run)
+    total = np.zeros(len(run.times))
+    for info in run.pipelines:
+        weight = weights[info.pid]
+        if weight <= 0 or not info.executed:
+            continue
+        pr = run.pipeline_run(info.pid, min_observations=min_observations)
+        contribution = np.zeros(len(run.times))
+        after = run.times > info.t_end
+        contribution[after] = 1.0
+        inside = (run.times >= info.t_start) & ~after
+        if pr is not None and assignment.get(info.pid) is not None:
+            estimate = assignment[info.pid].estimate(pr)
+            lookup = np.searchsorted(pr.times, run.times[inside], side="right") - 1
+            lookup = np.clip(lookup, 0, len(estimate) - 1)
+            contribution[inside] = estimate[lookup]
+        else:
+            # unscored pipeline: linear-in-window fallback
+            span = max(info.duration, 1e-12)
+            contribution[inside] = (run.times[inside] - info.t_start) / span
+        total += weight * contribution
+    return np.clip(total, 0.0, 1.0)
+
+
+def uniform_assignment(run: QueryRun,
+                       estimator: ProgressEstimator) -> dict[int, ProgressEstimator]:
+    """Use one estimator for every pipeline (the pre-selection baseline)."""
+    return {p.pid: estimator for p in run.pipelines}
+
+
+def query_level_error(run: QueryRun,
+                      assignment: dict[int, ProgressEstimator],
+                      norm: int = 1) -> float:
+    """L1/L2 error of the combined query progress vs time-based truth."""
+    estimate = query_progress(run, assignment)
+    truth = run.true_progress()
+    if norm == 1:
+        return float(np.mean(np.abs(estimate - truth)))
+    if norm == 2:
+        return float(np.sqrt(np.mean((estimate - truth) ** 2)))
+    raise ValueError("norm must be 1 or 2")

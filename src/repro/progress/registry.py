@@ -1,0 +1,52 @@
+"""Canonical estimator sets used throughout the experiments."""
+
+from __future__ import annotations
+
+from repro.progress.base import ProgressEstimator
+from repro.progress.batchdne import BatchDNEEstimator
+from repro.progress.dne import DNEEstimator
+from repro.progress.dneseek import DNESeekEstimator
+from repro.progress.luo import LuoEstimator
+from repro.progress.refined_tgn import RefinedTGNEstimator
+from repro.progress.safe_pmax import PMaxEstimator, SafeEstimator
+from repro.progress.tgn import TGNEstimator
+from repro.progress.tgnint import TGNIntEstimator
+
+
+def original_estimators() -> list[ProgressEstimator]:
+    """The three prior-work estimators the paper selects among first."""
+    return [DNEEstimator(), TGNEstimator(), LuoEstimator()]
+
+
+def novel_estimators() -> list[ProgressEstimator]:
+    """The paper's §5 additions."""
+    return [BatchDNEEstimator(), DNESeekEstimator(), TGNIntEstimator()]
+
+
+def worst_case_estimators() -> list[ProgressEstimator]:
+    """[5]'s theoretical estimators (evaluated, then ruled out, in §6.2)."""
+    return [PMaxEstimator(), SafeEstimator()]
+
+
+def extension_estimators() -> list[ProgressEstimator]:
+    """Post-paper extensions (§7 outlook); not in the paper's §6 pools."""
+    return [RefinedTGNEstimator()]
+
+
+def all_estimators(include_worst_case: bool = False,
+                   include_extensions: bool = False) -> list[ProgressEstimator]:
+    """Original + novel estimators (the paper's full selection pool)."""
+    pool = original_estimators() + novel_estimators()
+    if include_worst_case:
+        pool += worst_case_estimators()
+    if include_extensions:
+        pool += extension_estimators()
+    return pool
+
+
+def estimator_by_name(name: str) -> ProgressEstimator:
+    for est in all_estimators(include_worst_case=True,
+                              include_extensions=True):
+        if est.name == name:
+            return est
+    raise KeyError(f"unknown estimator {name!r}")

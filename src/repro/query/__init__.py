@@ -1,0 +1,13 @@
+"""Logical query DSL.
+
+Workload generators produce :class:`~repro.query.logical.QuerySpec` objects
+— a declarative description of joins, filters, grouping, ordering and TOP —
+which the optimizer turns into physical plans.  A SQL parser is deliberately
+out of scope: the paper's techniques operate on *physical plans*, so a
+structured DSL exercises exactly the same code paths.
+"""
+
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec, evaluate_filter
+
+__all__ = ["QuerySpec", "JoinEdge", "Aggregate", "FilterSpec", "evaluate_filter"]

@@ -1,0 +1,125 @@
+"""The logical query specification consumed by the planner.
+
+A :class:`QuerySpec` describes a select-project-join-aggregate query:
+
+* ``tables`` — the base tables referenced,
+* ``joins`` — equi-join edges between table columns,
+* ``filters`` — ANDed single-column predicates,
+* ``group_by`` / ``aggregates`` — optional grouping,
+* ``order_by`` / ``top`` — optional ordering and row limit.
+
+This covers the plan shapes of the paper's six workloads (scan/seek
+pipelines, 2- to 12-way joins, stream/hash aggregation, sorts, TOP-N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.predicates import FilterSpec
+
+_AGG_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """Equi-join between ``left_table.left_column`` and ``right_table.right_column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def touches(self, table: str) -> bool:
+        return table in (self.left_table, self.right_table)
+
+    def other(self, table: str) -> str:
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise ValueError(f"join {self} does not touch table {table!r}")
+
+    def column_for(self, table: str) -> str:
+        if table == self.left_table:
+            return self.left_column
+        if table == self.right_table:
+            return self.right_column
+        raise ValueError(f"join {self} does not touch table {table!r}")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A single aggregate, e.g. ``sum(l_extendedprice)``."""
+
+    func: str
+    column: str | None = None  # None only for count(*)
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGG_FUNCS:
+            raise ValueError(f"unknown aggregate function {self.func!r}")
+        if self.func != "count" and self.column is None:
+            raise ValueError(f"aggregate {self.func!r} requires a column")
+
+    @property
+    def output_name(self) -> str:
+        return f"{self.func}_{self.column or 'star'}"
+
+
+@dataclass
+class QuerySpec:
+    """A declarative query; see module docstring."""
+
+    name: str
+    tables: list[str]
+    joins: list[JoinEdge] = field(default_factory=list)
+    filters: list[FilterSpec] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    aggregates: list[Aggregate] = field(default_factory=list)
+    order_by: list[str] = field(default_factory=list)
+    top: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError(f"query {self.name!r} references no tables")
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError(f"query {self.name!r} repeats a table (self-joins unsupported)")
+        known = set(self.tables)
+        for join in self.joins:
+            if join.left_table not in known or join.right_table not in known:
+                raise ValueError(f"join {join} references table outside query {self.name!r}")
+        for filt in self.filters:
+            if filt.table not in known:
+                raise ValueError(f"filter {filt.describe()} references table "
+                                 f"outside query {self.name!r}")
+        if self.group_by and not self.aggregates:
+            raise ValueError(f"query {self.name!r} groups without aggregates")
+        if self.top is not None and self.top <= 0:
+            raise ValueError(f"query {self.name!r} has non-positive TOP")
+        if len(self.tables) > 1 and len(self.joins) < len(self.tables) - 1:
+            raise ValueError(f"query {self.name!r} join graph is disconnected")
+
+    def filters_on(self, table: str) -> list[FilterSpec]:
+        return [f for f in self.filters if f.table == table]
+
+    def joins_touching(self, table: str) -> list[JoinEdge]:
+        return [j for j in self.joins if j.touches(table)]
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.aggregates)
+
+    def describe(self) -> str:
+        """One-line human-readable summary, for logs and examples."""
+        parts = [f"{self.name}: {' ⋈ '.join(self.tables)}"]
+        if self.filters:
+            parts.append("WHERE " + " AND ".join(f.describe() for f in self.filters))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(self.group_by))
+        if self.aggregates:
+            parts.append("AGG " + ", ".join(a.output_name for a in self.aggregates))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(self.order_by))
+        if self.top is not None:
+            parts.append(f"TOP {self.top}")
+        return " | ".join(parts)

@@ -1,0 +1,108 @@
+"""Filter predicates: representation, vectorized evaluation.
+
+A :class:`FilterSpec` is a simple column-vs-constant comparison.  Composite
+(ANDed) predicates are expressed as lists of specs; each workload query
+carries per-table filter lists, and the planner decides whether a filter is
+served by an index seek or a residual FILTER operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+_OPS = ("==", "!=", "<", "<=", ">", ">=", "between", "in")
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A single-column predicate ``column <op> value``.
+
+    ``between`` takes a ``(low, high)`` pair (inclusive); ``in`` takes a
+    tuple of admissible values.
+    """
+
+    table: str
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown predicate op {self.op!r}")
+        if self.op == "between":
+            low, high = self.value
+            if low > high:
+                raise ValueError(f"between bounds reversed: {self.value!r}")
+        if self.op == "in" and not isinstance(self.value, tuple):
+            raise ValueError("'in' predicate value must be a tuple")
+
+    def describe(self) -> str:
+        return f"{self.table}.{self.column} {self.op} {self.value!r}"
+
+    @property
+    def sargable(self) -> bool:
+        """Whether an ordered index on ``column`` can serve this predicate."""
+        return self.op in ("==", "<", "<=", ">", ">=", "between")
+
+    def seek_range(self, domain_min: float, domain_max: float) -> tuple[float, float]:
+        """Inclusive key range a seek must cover, given the column domain."""
+        if self.op == "==":
+            return self.value, self.value
+        if self.op == "between":
+            return self.value[0], self.value[1]
+        if self.op == "<=":
+            return domain_min, self.value
+        if self.op == "<":
+            return domain_min, _just_below(self.value)
+        if self.op == ">=":
+            return self.value, domain_max
+        if self.op == ">":
+            return _just_above(self.value), domain_max
+        raise ValueError(f"predicate {self.op!r} is not sargable")
+
+
+def _just_below(value):
+    if isinstance(value, (int, np.integer)):
+        return value - 1
+    return np.nextafter(value, -np.inf)
+
+
+def _just_above(value):
+    if isinstance(value, (int, np.integer)):
+        return value + 1
+    return np.nextafter(value, np.inf)
+
+
+def evaluate_filter(spec: FilterSpec, values: np.ndarray) -> np.ndarray:
+    """Vectorized evaluation: boolean mask of rows satisfying ``spec``."""
+    if spec.op == "==":
+        return values == spec.value
+    if spec.op == "!=":
+        return values != spec.value
+    if spec.op == "<":
+        return values < spec.value
+    if spec.op == "<=":
+        return values <= spec.value
+    if spec.op == ">":
+        return values > spec.value
+    if spec.op == ">=":
+        return values >= spec.value
+    if spec.op == "between":
+        low, high = spec.value
+        return (values >= low) & (values <= high)
+    if spec.op == "in":
+        return np.isin(values, np.asarray(spec.value))
+    raise ValueError(f"unknown predicate op {spec.op!r}")
+
+
+def evaluate_all(specs: list[FilterSpec], data: dict[str, np.ndarray]) -> np.ndarray:
+    """AND together several predicates over a chunk's columns."""
+    if not specs:
+        raise ValueError("evaluate_all requires at least one predicate")
+    mask = evaluate_filter(specs[0], data[specs[0].column])
+    for spec in specs[1:]:
+        mask &= evaluate_filter(spec, data[spec.column])
+    return mask

@@ -1,0 +1,28 @@
+"""Query workload generators for the paper's six evaluation workloads.
+
+* :mod:`repro.workloads.tpch_queries` — parametrized TPC-H-style templates
+  (the paper runs 1000 TPC-H queries per physical design),
+* :mod:`repro.workloads.tpcds_queries` — randomly sampled TPC-DS-style
+  star/snowflake queries (the paper uses >200),
+* :mod:`repro.workloads.real1` / :mod:`repro.workloads.real2` — generators
+  matching the two proprietary workloads' reported shapes (477 queries of
+  5-8-way joins; 632 queries of ~12-way joins),
+* :mod:`repro.workloads.suite` — named (database, design, queries) bundles
+  with caching, the unit the experiment harness works with.
+"""
+
+from repro.workloads.real1 import generate_real1_workload
+from repro.workloads.real2 import generate_real2_workload
+from repro.workloads.suite import WORKLOAD_NAMES, WorkloadBundle, WorkloadSuite
+from repro.workloads.tpch_queries import generate_tpch_workload
+from repro.workloads.tpcds_queries import generate_tpcds_workload
+
+__all__ = [
+    "generate_tpch_workload",
+    "generate_tpcds_workload",
+    "generate_real1_workload",
+    "generate_real2_workload",
+    "WorkloadSuite",
+    "WorkloadBundle",
+    "WORKLOAD_NAMES",
+]

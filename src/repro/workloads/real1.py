@@ -1,0 +1,119 @@
+"""Synthetic "Real-1" workload: 477 reporting queries, 5-8-way joins.
+
+The paper describes Real-1 as a decision-support and reporting workload
+over a Sales database where "most of the queries involve joins of 5-8
+tables as well as nested sub-queries".  The generator samples from a set
+of reporting patterns over the Real-1 schema, always joining 5-8 of the
+star's tables and mixing fine- and coarse-grained aggregations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+
+#: dimension joins available for the ``sales`` fact
+_SALES_DIMS: tuple[tuple[str, str, str], ...] = (
+    ("product", "sale_product", "prod_key"),
+    ("store", "sale_store", "store_key"),
+    ("employee", "sale_employee", "emp_key"),
+    ("customer_r1", "sale_customer", "cust_key"),
+    ("promotion_r1", "sale_promo", "promo_key"),
+    ("calendar", "sale_day", "day_key"),
+)
+
+_GROUP_COLUMNS = {
+    "product": "prod_category",
+    "store": "store_region",
+    "employee": "emp_level",
+    "customer_r1": "cust_segment",
+    "promotion_r1": "promo_kind",
+    "calendar": "day_month",
+    "category": "cat_department",
+}
+
+
+def _sales_query(rng: np.random.Generator, name: str) -> QuerySpec:
+    n_dims = int(rng.integers(4, 7))  # 5-8 tables incl. fact (+category)
+    picks = rng.choice(len(_SALES_DIMS), size=n_dims, replace=False)
+    tables = ["sales"]
+    joins: list[JoinEdge] = []
+    filters: list[FilterSpec] = []
+    group_candidates: list[str] = []
+    for p in sorted(picks):
+        dim, fact_col, dim_key = _SALES_DIMS[p]
+        tables.append(dim)
+        joins.append(JoinEdge("sales", fact_col, dim, dim_key))
+        group_candidates.append(_GROUP_COLUMNS[dim])
+    if "product" in tables and rng.random() < 0.6:
+        tables.append("category")
+        joins.append(JoinEdge("product", "prod_category", "category", "cat_key"))
+        group_candidates.append(_GROUP_COLUMNS["category"])
+    if "calendar" in tables:
+        month = int(rng.integers(1, 13))
+        filters.append(FilterSpec("calendar", "day_month", "==", month))
+    if "customer_r1" in tables and rng.random() < 0.5:
+        filters.append(FilterSpec("customer_r1", "cust_segment", "==",
+                                  int(rng.integers(0, 8))))
+    if "product" in tables and rng.random() < 0.4:
+        filters.append(FilterSpec("product", "prod_price", "<=",
+                                  float(rng.integers(10, 80))))
+    if rng.random() < 0.4:
+        filters.append(FilterSpec("sales", "sale_quantity", ">=",
+                                  int(rng.integers(2, 10))))
+    aggs = [Aggregate("sum", "sale_amount"), Aggregate("count")]
+    if rng.random() < 0.3:
+        aggs.append(Aggregate("avg", "sale_discount"))
+    group_by = [group_candidates[int(rng.integers(0, len(group_candidates)))]]
+    order_by = [aggs[0].output_name] if rng.random() < 0.5 else list(group_by)
+    return QuerySpec(
+        name=name,
+        tables=tables,
+        joins=joins,
+        filters=filters,
+        group_by=group_by,
+        aggregates=aggs,
+        order_by=order_by,
+        top=int(rng.integers(10, 51)) if rng.random() < 0.3 else None,
+    )
+
+
+def _returns_query(rng: np.random.Generator, name: str) -> QuerySpec:
+    tables = ["returns", "product", "customer_r1", "calendar", "category"]
+    joins = [
+        JoinEdge("returns", "ret_product", "product", "prod_key"),
+        JoinEdge("returns", "ret_customer", "customer_r1", "cust_key"),
+        JoinEdge("returns", "ret_day", "calendar", "day_key"),
+        JoinEdge("product", "prod_category", "category", "cat_key"),
+    ]
+    filters = [FilterSpec("calendar", "day_quarter", "==", int(rng.integers(1, 5)))]
+    if rng.random() < 0.5:
+        filters.append(FilterSpec("returns", "ret_reason", "==",
+                                  int(rng.integers(0, 12))))
+    if rng.random() < 0.4:
+        tables.append("store")
+        joins.append(JoinEdge("returns", "ret_store", "store", "store_key"))
+    return QuerySpec(
+        name=name,
+        tables=tables,
+        joins=joins,
+        filters=filters,
+        group_by=["cat_department"],
+        aggregates=[Aggregate("sum", "ret_quantity"), Aggregate("count")],
+        order_by=["sum_ret_quantity"],
+    )
+
+
+def generate_real1_workload(n_queries: int = 477,
+                            seed: int = 2) -> list[QuerySpec]:
+    """``n_queries`` Real-1-style specs (paper: 477 distinct queries)."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for i in range(n_queries):
+        if rng.random() < 0.8:
+            queries.append(_sales_query(rng, f"real1_sales_{i}"))
+        else:
+            queries.append(_returns_query(rng, f"real1_returns_{i}"))
+    return queries

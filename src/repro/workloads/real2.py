@@ -1,0 +1,110 @@
+"""Synthetic "Real-2" workload: 632 analytics queries, ~12-way joins.
+
+The paper's second real workload runs "even more complex queries (with a
+typical query involving 12 joins)" on a larger database.  The generator
+walks the shipments snowflake — fact plus dimension chains (port ->
+country -> region, carrier -> alliance, commodity -> group) — keeping
+queries connected and usually 10-12 tables wide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+
+#: (table, fact join column, table key, snowflake extensions)
+_CHAINS: tuple[tuple, ...] = (
+    ("port", "shp_origin_port", "port_key",
+     (("country", "port_country", "country_key",
+       (("ship_region", "country_region", "sregion_key", ()),)),)),
+    ("vessel", "shp_vessel", "vessel_key", ()),
+    ("carrier", "shp_carrier", "carrier_key",
+     (("alliance", "carrier_alliance", "alliance_key", ()),)),
+    ("commodity", "shp_commodity", "comm_key",
+     (("commodity_group", "comm_group", "cgroup_key", ()),)),
+    ("shipper", "shp_shipper", "shipper_key", ()),
+    ("consignee", "shp_consignee", "consignee_key", ()),
+    ("calendar2", "shp_day", "sday_key", ()),
+)
+
+_GROUP_COLUMNS = {
+    "port": "port_country",
+    "country": "country_region",
+    "ship_region": "sregion_key",
+    "vessel": "vessel_carrier",
+    "carrier": "carrier_alliance",
+    "alliance": "alliance_key",
+    "commodity": "comm_group",
+    "commodity_group": "cgroup_hazard",
+    "shipper": "shipper_tier",
+    "consignee": "consignee_country",
+    "calendar2": "sday_month",
+}
+
+
+def _add_chain(chain, parent: str, tables: list[str], joins: list[JoinEdge],
+               rng: np.random.Generator, depth_prob: float) -> None:
+    table, parent_col, key, extensions = chain
+    tables.append(table)
+    joins.append(JoinEdge(parent, parent_col, table, key))
+    for ext in extensions:
+        if rng.random() < depth_prob:
+            _add_chain(ext, table, tables, joins, rng, depth_prob)
+
+
+def _shipments_query(rng: np.random.Generator, name: str) -> QuerySpec:
+    tables = ["shipments"]
+    joins: list[JoinEdge] = []
+    n_chains = int(rng.integers(5, len(_CHAINS) + 1))
+    picks = rng.choice(len(_CHAINS), size=n_chains, replace=False)
+    for p in sorted(picks):
+        _add_chain(_CHAINS[p], "shipments", tables, joins, rng,
+                   depth_prob=0.8)
+    filters: list[FilterSpec] = []
+    if "calendar2" in tables and rng.random() < 0.7:
+        filters.append(FilterSpec("calendar2", "sday_month", "==",
+                                  int(rng.integers(1, 13))))
+    if "commodity_group" in tables and rng.random() < 0.4:
+        filters.append(FilterSpec("commodity_group", "cgroup_hazard", "==",
+                                  int(rng.integers(0, 3))))
+    if "shipper" in tables and rng.random() < 0.4:
+        filters.append(FilterSpec("shipper", "shipper_tier", "==",
+                                  int(rng.integers(0, 4))))
+    if rng.random() < 0.5:
+        filters.append(FilterSpec("shipments", "shp_teu", ">=",
+                                  int(rng.integers(2, 15))))
+    if rng.random() < 0.3:
+        filters.append(FilterSpec("shipments", "shp_delay_days", "<=",
+                                  int(rng.integers(3, 20))))
+    group_candidates = [_GROUP_COLUMNS[t] for t in tables if t in _GROUP_COLUMNS]
+    aggs = [Aggregate("sum", "shp_value"), Aggregate("count")]
+    if rng.random() < 0.4:
+        aggs.append(Aggregate("max", "shp_teu"))
+    group_by = [group_candidates[int(rng.integers(0, len(group_candidates)))]] \
+        if group_candidates and rng.random() < 0.85 else []
+    order_by = []
+    top = None
+    if group_by and rng.random() < 0.5:
+        order_by = [aggs[0].output_name]
+        if rng.random() < 0.4:
+            top = int(rng.integers(10, 101))
+    return QuerySpec(
+        name=name,
+        tables=tables,
+        joins=joins,
+        filters=filters,
+        group_by=group_by,
+        aggregates=aggs if group_by or rng.random() < 0.8 else [],
+        order_by=order_by,
+        top=top,
+    )
+
+
+def generate_real2_workload(n_queries: int = 632,
+                            seed: int = 3) -> list[QuerySpec]:
+    """``n_queries`` Real-2-style specs (paper: 632 queries)."""
+    rng = np.random.default_rng(seed)
+    return [_shipments_query(rng, f"real2_shipments_{i}")
+            for i in range(n_queries)]

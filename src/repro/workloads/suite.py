@@ -1,0 +1,123 @@
+"""Named workload bundles: database + physical design + queries + planner.
+
+The paper evaluates on six workloads (§6): TPC-DS, three TPC-H variants
+(z = 1) differing only in physical design, and the two real workloads.
+A :class:`WorkloadSuite` materializes them lazily at a chosen scale and
+caches the bundles, since several experiments share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.statistics import DatabaseStatistics, build_statistics
+from repro.catalog.table import Database
+from repro.datagen.sales import generate_real1, generate_real2
+from repro.datagen.tpch import generate_tpch
+from repro.datagen.tpcds import generate_tpcds
+from repro.optimizer.physical_design import (
+    DesignLevel,
+    PhysicalDesign,
+    apply_design,
+    design_for_workload,
+)
+from repro.optimizer.planner import Planner
+from repro.query.logical import QuerySpec
+from repro.workloads.real1 import generate_real1_workload
+from repro.workloads.real2 import generate_real2_workload
+from repro.workloads.tpch_queries import generate_tpch_workload
+from repro.workloads.tpcds_queries import generate_tpcds_workload
+
+WORKLOAD_NAMES = (
+    "tpcds",
+    "tpch_untuned",
+    "tpch_partial",
+    "tpch_full",
+    "real1",
+    "real2",
+)
+
+
+@dataclass
+class WorkloadBundle:
+    """Everything needed to run one workload."""
+
+    name: str
+    db: Database
+    queries: list[QuerySpec]
+    design: PhysicalDesign
+    stats: DatabaseStatistics
+    planner: Planner
+
+
+@dataclass
+class SuiteScale:
+    """Row/query counts for building the six workloads."""
+
+    tpch_rows: int = 20_000
+    tpcds_rows: int = 12_000
+    real1_rows: int = 15_000
+    real2_rows: int = 15_000
+    tpch_queries: int = 150
+    tpcds_queries: int = 60
+    real1_queries: int = 60
+    real2_queries: int = 60
+    tpch_z: float = 1.0  # the paper's default skew for workloads (2)-(4)
+
+
+class WorkloadSuite:
+    """Lazily builds and caches the six evaluation workloads."""
+
+    def __init__(self, scale: SuiteScale | None = None, seed: int = 0):
+        self.scale = scale or SuiteScale()
+        self.seed = seed
+        self._bundles: dict[str, WorkloadBundle] = {}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return WORKLOAD_NAMES
+
+    def bundle(self, name: str) -> WorkloadBundle:
+        if name not in WORKLOAD_NAMES:
+            raise KeyError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+        if name not in self._bundles:
+            self._bundles[name] = self._build(name)
+        return self._bundles[name]
+
+    def bundles(self, names: list[str] | None = None) -> list[WorkloadBundle]:
+        return [self.bundle(n) for n in (names or WORKLOAD_NAMES)]
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, name: str) -> WorkloadBundle:
+        scale = self.scale
+        if name.startswith("tpch"):
+            level = {"tpch_untuned": DesignLevel.UNTUNED,
+                     "tpch_partial": DesignLevel.PARTIAL,
+                     "tpch_full": DesignLevel.FULL}[name]
+            db = generate_tpch(scale.tpch_rows, z=scale.tpch_z,
+                               seed=7 + self.seed)
+            db.schema.name = name
+            queries = generate_tpch_workload(scale.tpch_queries,
+                                             seed=10 + self.seed)
+            design = design_for_workload(db, queries, level)
+        elif name == "tpcds":
+            db = generate_tpcds(scale.tpcds_rows, seed=11 + self.seed)
+            queries = generate_tpcds_workload(scale.tpcds_queries,
+                                              seed=20 + self.seed)
+            design = design_for_workload(db, queries, DesignLevel.PARTIAL)
+        elif name == "real1":
+            db = generate_real1(scale.real1_rows, seed=23 + self.seed)
+            queries = generate_real1_workload(scale.real1_queries,
+                                              seed=30 + self.seed)
+            design = design_for_workload(db, queries, DesignLevel.FULL)
+        else:  # real2
+            db = generate_real2(scale.real2_rows, seed=29 + self.seed)
+            queries = generate_real2_workload(scale.real2_queries,
+                                              seed=40 + self.seed)
+            design = design_for_workload(db, queries, DesignLevel.PARTIAL)
+        apply_design(db, design)
+        stats = build_statistics(db)
+        planner = Planner(db, stats)
+        return WorkloadBundle(name=name, db=db, queries=queries,
+                              design=design, stats=stats, planner=planner)

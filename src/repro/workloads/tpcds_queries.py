@@ -1,0 +1,112 @@
+"""Randomly sampled TPC-DS-style queries (paper: >200 random queries).
+
+Each query picks one of the three sales facts, joins a random subset of
+its dimensions (sometimes extending into the customer -> address
+snowflake), applies randomized dimensional filters, and usually groups or
+ranks — the canonical TPC-DS reporting shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+
+_FACTS = {
+    "store_sales": "ss",
+    "catalog_sales": "cs",
+    "web_sales": "ws",
+}
+
+
+def _fact_joins(fact: str, prefix: str, rng: np.random.Generator
+                ) -> tuple[list[str], list[JoinEdge], list[FilterSpec], list[str]]:
+    """Random dimension subset for a fact, with joins/filters/group options."""
+    tables = [fact]
+    joins: list[JoinEdge] = []
+    filters: list[FilterSpec] = []
+    group_options: list[str] = []
+
+    def add_dim(dim: str, fact_col: str, dim_col: str) -> None:
+        tables.append(dim)
+        joins.append(JoinEdge(fact, fact_col, dim, dim_col))
+
+    if rng.random() < 0.85:
+        add_dim("date_dim", f"{prefix}_sold_date_sk", "d_date_sk")
+        year = int(rng.integers(1998, 2001))
+        if rng.random() < 0.7:
+            filters.append(FilterSpec("date_dim", "d_year", "==", year))
+        else:
+            filters.append(FilterSpec("date_dim", "d_moy", "==",
+                                      int(rng.integers(1, 13))))
+        group_options.append("d_moy")
+    if rng.random() < 0.7:
+        add_dim("item", f"{prefix}_item_sk", "i_item_sk")
+        if rng.random() < 0.6:
+            filters.append(FilterSpec("item", "i_category", "==",
+                                      int(rng.integers(0, 10))))
+        if rng.random() < 0.3:
+            filters.append(FilterSpec("item", "i_current_price", "<=",
+                                      float(rng.integers(20, 250))))
+        group_options += ["i_brand", "i_class"]
+    if rng.random() < 0.45:
+        add_dim("customer_dim", f"{prefix}_customer_sk", "cd_customer_sk")
+        group_options.append("cd_birth_year")
+        if rng.random() < 0.5:
+            tables.append("customer_address")
+            joins.append(JoinEdge("customer_dim", "cd_address_sk",
+                                  "customer_address", "ca_address_sk"))
+            filters.append(FilterSpec("customer_address", "ca_state", "in",
+                                      tuple(int(s) for s in
+                                            rng.choice(50, 3, replace=False))))
+            group_options.append("ca_state")
+    if prefix == "ss" and rng.random() < 0.4:
+        add_dim("store", "ss_store_sk", "st_store_sk")
+        group_options.append("st_state")
+    if prefix in ("cs", "ws") and rng.random() < 0.4:
+        add_dim("warehouse", f"{prefix}_warehouse_sk", "wh_warehouse_sk")
+        group_options.append("wh_warehouse_sk")
+    if rng.random() < 0.25:
+        add_dim("promotion", f"{prefix}_promo_sk", "pr_promo_sk")
+        group_options.append("pr_channel")
+    return tables, joins, filters, group_options
+
+
+def generate_tpcds_workload(n_queries: int = 200,
+                            seed: int = 1) -> list[QuerySpec]:
+    """``n_queries`` random TPC-DS-style specs."""
+    rng = np.random.default_rng(seed)
+    queries: list[QuerySpec] = []
+    fact_names = list(_FACTS)
+    while len(queries) < n_queries:
+        fact = fact_names[int(rng.integers(0, len(fact_names)))]
+        prefix = _FACTS[fact]
+        tables, joins, filters, group_options = _fact_joins(fact, prefix, rng)
+        if rng.random() < 0.5:
+            lo = float(rng.integers(1, 60))
+            filters.append(FilterSpec(fact, f"{prefix}_quantity", "between",
+                                      (lo, lo + float(rng.integers(10, 50)))))
+        aggs = [Aggregate("sum", f"{prefix}_sales_price"), Aggregate("count")]
+        if rng.random() < 0.4:
+            aggs.append(Aggregate("avg", f"{prefix}_net_profit"))
+        group_by: list[str] = []
+        order_by: list[str] = []
+        top = None
+        if group_options and rng.random() < 0.8:
+            group_by = [group_options[int(rng.integers(0, len(group_options)))]]
+            if rng.random() < 0.6:
+                order_by = [aggs[0].output_name]
+                if rng.random() < 0.5:
+                    top = int(rng.integers(10, 101))
+        queries.append(QuerySpec(
+            name=f"tpcds_{fact}_{len(queries)}",
+            tables=tables,
+            joins=joins,
+            filters=filters,
+            group_by=group_by,
+            aggregates=aggs,
+            order_by=order_by,
+            top=top,
+        ))
+    return queries

@@ -1,0 +1,279 @@
+"""Parametrized TPC-H-style query templates over the generated schema.
+
+Sixteen templates modelled on the TPC-H query set (Q1, Q3, Q5, Q6, Q10,
+Q12, Q14, Q18, Q19, ... simplified to the reproduced schema subset), each
+with randomized parameters the way ``qgen`` substitutes them.  The mix
+deliberately spans the plan shapes that stress different estimators:
+scan-heavy aggregations, selective seeks, multi-way joins that flip
+between hash/merge/index-nested-loop under different physical designs,
+group-bys of very different cardinalities, and TOP-N queries that
+terminate early.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+
+_DATE_MAX = 7 * 365
+
+
+def _date(rng: np.random.Generator, lo_frac: float = 0.1,
+          hi_frac: float = 0.9) -> int:
+    return int(rng.integers(int(_DATE_MAX * lo_frac), int(_DATE_MAX * hi_frac)))
+
+
+def q1_pricing_summary(rng: np.random.Generator, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=["lineitem"],
+        filters=[FilterSpec("lineitem", "l_shipdate", "<=", _date(rng, 0.5, 1.0))],
+        group_by=["l_returnflag"],
+        aggregates=[Aggregate("sum", "l_quantity"),
+                    Aggregate("sum", "l_extendedprice"),
+                    Aggregate("avg", "l_discount"),
+                    Aggregate("count")],
+        order_by=["l_returnflag"],
+    )
+
+
+def q3_shipping_priority(rng: np.random.Generator, name: str) -> QuerySpec:
+    cutoff = _date(rng, 0.3, 0.7)
+    return QuerySpec(
+        name=name,
+        tables=["customer", "orders", "lineitem"],
+        joins=[JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+               JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        filters=[FilterSpec("customer", "c_mktsegment", "==", int(rng.integers(0, 5))),
+                 FilterSpec("orders", "o_orderdate", "<", cutoff),
+                 FilterSpec("lineitem", "l_shipdate", ">", cutoff)],
+        group_by=["o_orderdate"],
+        aggregates=[Aggregate("sum", "l_extendedprice")],
+        order_by=["sum_l_extendedprice"],
+        top=10,
+    )
+
+
+def q5_local_supplier(rng: np.random.Generator, name: str) -> QuerySpec:
+    start = _date(rng, 0.1, 0.6)
+    return QuerySpec(
+        name=name,
+        tables=["customer", "orders", "lineitem", "supplier", "nation"],
+        joins=[JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+               JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+               JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+               JoinEdge("customer", "c_nationkey", "nation", "n_nationkey")],
+        filters=[FilterSpec("orders", "o_orderdate", "between",
+                            (start, start + 365)),
+                 FilterSpec("nation", "n_regionkey", "==", int(rng.integers(0, 5)))],
+        group_by=["n_nationkey"],
+        aggregates=[Aggregate("sum", "l_extendedprice")],
+        order_by=["sum_l_extendedprice"],
+    )
+
+
+def q6_forecast_revenue(rng: np.random.Generator, name: str) -> QuerySpec:
+    start = _date(rng, 0.1, 0.7)
+    disc = rng.integers(2, 8) / 100.0
+    return QuerySpec(
+        name=name,
+        tables=["lineitem"],
+        filters=[FilterSpec("lineitem", "l_shipdate", "between", (start, start + 365)),
+                 FilterSpec("lineitem", "l_discount", "between",
+                            (disc - 0.01, disc + 0.01)),
+                 FilterSpec("lineitem", "l_quantity", "<", float(rng.integers(24, 35)))],
+        aggregates=[Aggregate("sum", "l_extendedprice")],
+    )
+
+
+def q10_returned_items(rng: np.random.Generator, name: str) -> QuerySpec:
+    start = _date(rng, 0.2, 0.7)
+    return QuerySpec(
+        name=name,
+        tables=["customer", "orders", "lineitem", "nation"],
+        joins=[JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+               JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+               JoinEdge("customer", "c_nationkey", "nation", "n_nationkey")],
+        filters=[FilterSpec("orders", "o_orderdate", "between", (start, start + 90)),
+                 FilterSpec("lineitem", "l_returnflag", "==", int(rng.integers(0, 3)))],
+        group_by=["c_custkey"],
+        aggregates=[Aggregate("sum", "l_extendedprice"), Aggregate("count")],
+        order_by=["sum_l_extendedprice"],
+        top=20,
+    )
+
+
+def q12_shipmode(rng: np.random.Generator, name: str) -> QuerySpec:
+    start = _date(rng, 0.1, 0.8)
+    modes = tuple(int(m) for m in rng.choice(7, size=2, replace=False))
+    return QuerySpec(
+        name=name,
+        tables=["orders", "lineitem"],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        filters=[FilterSpec("lineitem", "l_shipmode", "in", modes),
+                 FilterSpec("lineitem", "l_receiptdate", "between",
+                            (start, start + 365))],
+        group_by=["l_shipmode"],
+        aggregates=[Aggregate("count"), Aggregate("sum", "o_totalprice")],
+        order_by=["l_shipmode"],
+    )
+
+
+def q14_promo_effect(rng: np.random.Generator, name: str) -> QuerySpec:
+    start = _date(rng, 0.1, 0.85)
+    return QuerySpec(
+        name=name,
+        tables=["lineitem", "part"],
+        joins=[JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+        filters=[FilterSpec("lineitem", "l_shipdate", "between", (start, start + 30))],
+        aggregates=[Aggregate("sum", "l_extendedprice"), Aggregate("count")],
+    )
+
+
+def q18_large_volume(rng: np.random.Generator, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=["customer", "orders", "lineitem"],
+        joins=[JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+               JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        filters=[FilterSpec("orders", "o_totalprice", ">",
+                            float(rng.integers(300_000, 450_000)))],
+        group_by=["o_orderkey"],
+        aggregates=[Aggregate("sum", "l_quantity")],
+        order_by=["sum_l_quantity"],
+        top=100,
+    )
+
+
+def q19_discounted_revenue(rng: np.random.Generator, name: str) -> QuerySpec:
+    qty = float(rng.integers(5, 30))
+    return QuerySpec(
+        name=name,
+        tables=["lineitem", "part"],
+        joins=[JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+        filters=[FilterSpec("part", "p_size", "between",
+                            (1, int(rng.integers(5, 25)))),
+                 FilterSpec("lineitem", "l_quantity", "between", (qty, qty + 10.0)),
+                 FilterSpec("lineitem", "l_shipinstruct", "==", 1)],
+        aggregates=[Aggregate("sum", "l_extendedprice")],
+    )
+
+
+def order_priority_counts(rng: np.random.Generator, name: str) -> QuerySpec:
+    start = _date(rng, 0.1, 0.85)
+    return QuerySpec(
+        name=name,
+        tables=["orders"],
+        filters=[FilterSpec("orders", "o_orderdate", "between", (start, start + 90))],
+        group_by=["o_orderpriority"],
+        aggregates=[Aggregate("count")],
+        order_by=["o_orderpriority"],
+    )
+
+
+def brand_supply_cost(rng: np.random.Generator, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=["partsupp", "part", "supplier"],
+        joins=[JoinEdge("partsupp", "ps_partkey", "part", "p_partkey"),
+               JoinEdge("partsupp", "ps_suppkey", "supplier", "s_suppkey")],
+        filters=[FilterSpec("part", "p_size", "<=", int(rng.integers(10, 40)))],
+        group_by=["p_brand"],
+        aggregates=[Aggregate("sum", "ps_supplycost"), Aggregate("count")],
+        order_by=["sum_ps_supplycost"],
+    )
+
+
+def lineitem_partsupp(rng: np.random.Generator, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=["lineitem", "partsupp"],
+        joins=[JoinEdge("lineitem", "l_partkey", "partsupp", "ps_partkey")],
+        filters=[FilterSpec("lineitem", "l_shipdate", ">", _date(rng, 0.6, 0.9))],
+        group_by=["ps_suppkey"],
+        aggregates=[Aggregate("sum", "ps_availqty")],
+        order_by=["sum_ps_availqty"],
+        top=50,
+    )
+
+
+def customer_order_lookup(rng: np.random.Generator, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=["orders", "lineitem"],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        filters=[FilterSpec("orders", "o_custkey", "<=", int(rng.integers(5, 60)))],
+        aggregates=[Aggregate("count"), Aggregate("sum", "l_extendedprice")],
+    )
+
+
+def segment_revenue(rng: np.random.Generator, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=["customer", "orders"],
+        joins=[JoinEdge("customer", "c_custkey", "orders", "o_custkey")],
+        filters=[FilterSpec("orders", "o_orderstatus", "==", int(rng.integers(0, 3)))],
+        group_by=["c_mktsegment"],
+        aggregates=[Aggregate("avg", "o_totalprice"), Aggregate("count")],
+        order_by=["c_mktsegment"],
+    )
+
+
+def supplier_revenue(rng: np.random.Generator, name: str) -> QuerySpec:
+    start = _date(rng, 0.2, 0.75)
+    return QuerySpec(
+        name=name,
+        tables=["supplier", "lineitem"],
+        joins=[JoinEdge("supplier", "s_suppkey", "lineitem", "l_suppkey")],
+        filters=[FilterSpec("lineitem", "l_shipdate", "between", (start, start + 90))],
+        group_by=["s_nationkey"],
+        aggregates=[Aggregate("sum", "l_extendedprice")],
+        order_by=["sum_l_extendedprice"],
+    )
+
+
+def part_type_count(rng: np.random.Generator, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=["part", "lineitem"],
+        joins=[JoinEdge("part", "p_partkey", "lineitem", "l_partkey")],
+        filters=[FilterSpec("part", "p_brand", "==", int(rng.integers(0, 25))),
+                 FilterSpec("part", "p_size", "between", (1, int(rng.integers(15, 50))))],
+        group_by=["p_type"],
+        aggregates=[Aggregate("count"), Aggregate("sum", "l_quantity")],
+        order_by=["count_star"],
+        top=20,
+    )
+
+
+TEMPLATES = (
+    q1_pricing_summary,
+    q3_shipping_priority,
+    q5_local_supplier,
+    q6_forecast_revenue,
+    q10_returned_items,
+    q12_shipmode,
+    q14_promo_effect,
+    q18_large_volume,
+    q19_discounted_revenue,
+    order_priority_counts,
+    brand_supply_cost,
+    lineitem_partsupp,
+    customer_order_lookup,
+    segment_revenue,
+    supplier_revenue,
+    part_type_count,
+)
+
+
+def generate_tpch_workload(n_queries: int = 1000,
+                           seed: int = 0) -> list[QuerySpec]:
+    """``n_queries`` specs cycling the templates with fresh parameters."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for i in range(n_queries):
+        template = TEMPLATES[i % len(TEMPLATES)]
+        queries.append(template(rng, f"tpch_{template.__name__}_{i}"))
+    return queries

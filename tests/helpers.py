@@ -1,0 +1,122 @@
+"""Test helpers: hand-built PipelineRun trajectories.
+
+Building synthetic :class:`PipelineRun` objects lets estimator and feature
+tests assert exact values without going through the executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.run import PipelineRun
+from repro.plan.nodes import Op
+
+
+def make_pipeline_run(
+    ops: list[Op],
+    K: np.ndarray,
+    *,
+    parents: list[int] | None = None,
+    drivers: list[int] | None = None,
+    E0: np.ndarray | None = None,
+    N: np.ndarray | None = None,
+    times: np.ndarray | None = None,
+    table_rows: np.ndarray | None = None,
+    widths: np.ndarray | None = None,
+    LB: np.ndarray | None = None,
+    UB: np.ndarray | None = None,
+    W: np.ndarray | None = None,
+    materialized_bytes_est: float = 0.0,
+) -> PipelineRun:
+    """Construct a PipelineRun from explicit counter trajectories.
+
+    ``K`` is ``(T, m)``; everything else defaults to something consistent:
+    linear times, final K as true totals, exact estimates, K-based bounds.
+    """
+    K = np.asarray(K, dtype=np.float64)
+    T, m = K.shape
+    if len(ops) != m:
+        raise ValueError("ops length must match K columns")
+    if times is None:
+        times = np.linspace(0.0, 100.0, T)
+    if N is None:
+        N = K[-1].copy()
+    if E0 is None:
+        E0 = N.copy()
+    if parents is None:
+        # default: a simple chain, node 0 on top
+        parents = [-1] + list(range(m - 1))
+    if drivers is None:
+        drivers = [m - 1]  # bottom of the chain
+    driver_mask = np.zeros(m, dtype=bool)
+    driver_mask[list(drivers)] = True
+    if widths is None:
+        widths = np.full(m, 8.0)
+    if table_rows is None:
+        table_rows = np.full(m, np.nan)
+    if LB is None:
+        LB = K.copy()
+    if UB is None:
+        UB = np.maximum(np.broadcast_to(N, K.shape), K)
+    if W is None:
+        W = np.zeros_like(K)
+    return PipelineRun(
+        pid=0,
+        query_name="synthetic",
+        db_name="synthetic",
+        times=np.asarray(times, dtype=np.float64),
+        t_start=float(times[0]),
+        t_end=float(times[-1]),
+        K=K,
+        R=np.zeros_like(K),
+        W=np.asarray(W, dtype=np.float64),
+        LB=np.asarray(LB, dtype=np.float64),
+        UB=np.asarray(UB, dtype=np.float64),
+        E0=np.asarray(E0, dtype=np.float64),
+        N=np.asarray(N, dtype=np.float64),
+        widths=np.asarray(widths, dtype=np.float64),
+        table_rows=np.asarray(table_rows, dtype=np.float64),
+        ops=list(ops),
+        driver_mask=driver_mask,
+        parent_local=np.asarray(parents, dtype=np.int64),
+        node_ids=np.arange(m),
+        materialized_bytes_est=materialized_bytes_est,
+    )
+
+
+def linear_two_node_run(n_obs: int = 11, total: float = 100.0) -> PipelineRun:
+    """Scan -> filter chain where everything progresses linearly."""
+    ramp = np.linspace(0.0, total, n_obs)
+    K = np.column_stack([ramp * 0.5, ramp])  # filter on top, scan below
+    return make_pipeline_run(
+        [Op.FILTER, Op.INDEX_SCAN], K,
+        parents=[-1, 0], drivers=[1],
+        table_rows=np.array([np.nan, total]),
+    )
+
+
+def truncate_run(pr: PipelineRun, upto: int) -> PipelineRun:
+    """Causal prefix of a pipeline run: observations [0, upto]."""
+    stop = upto + 1
+    return PipelineRun(
+        pid=pr.pid,
+        query_name=pr.query_name,
+        db_name=pr.db_name,
+        times=pr.times[:stop],
+        t_start=pr.t_start,
+        t_end=float(pr.times[upto]),
+        K=pr.K[:stop],
+        R=pr.R[:stop],
+        W=pr.W[:stop],
+        LB=pr.LB[:stop],
+        UB=pr.UB[:stop],
+        E0=pr.E0,
+        N=pr.N,
+        widths=pr.widths,
+        table_rows=pr.table_rows,
+        ops=pr.ops,
+        driver_mask=pr.driver_mask,
+        parent_local=pr.parent_local,
+        node_ids=pr.node_ids,
+        materialized_bytes_est=pr.materialized_bytes_est,
+    )

@@ -1,0 +1,88 @@
+"""Unit tests for repro.catalog.schema."""
+
+import pytest
+
+from repro.catalog.schema import Column, DatabaseSchema, TableSchema
+
+
+def make_table(name="t", cols=("a", "b")):
+    return TableSchema(name, tuple(Column(c) for c in cols), primary_key=(cols[0],))
+
+
+class TestColumn:
+    def test_defaults(self):
+        col = Column("x")
+        assert col.dtype == "int64"
+        assert col.width == 8
+
+    def test_float_column(self):
+        assert Column("x", "float64").dtype == "float64"
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            Column("x", "utf8")
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="positive width"):
+            Column("x", width=0)
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("a").name == "a"
+        assert table.has_column("b")
+        assert not table.has_column("zzz")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            make_table().column("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate column"):
+            TableSchema("t", (Column("a"), Column("a")))
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(ValueError, match="primary key"):
+            TableSchema("t", (Column("a"),), primary_key=("b",))
+
+    def test_row_width_sums_columns(self):
+        table = TableSchema("t", (Column("a", width=8), Column("b", width=25)))
+        assert table.row_width == 33
+
+    def test_column_names_order(self):
+        assert make_table(cols=("x", "y", "z")).column_names == ["x", "y", "z"]
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        db = DatabaseSchema("db")
+        db.add(make_table("t1"))
+        assert db.table("t1").name == "t1"
+
+    def test_duplicate_table_rejected(self):
+        db = DatabaseSchema("db")
+        db.add(make_table("t1"))
+        with pytest.raises(ValueError, match="already"):
+            db.add(make_table("t1"))
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            DatabaseSchema("db").table("ghost")
+
+    def test_table_of_column(self):
+        db = DatabaseSchema("db")
+        db.add(make_table("t1", cols=("a", "b")))
+        db.add(make_table("t2", cols=("c", "d")))
+        assert db.table_of_column("c").name == "t2"
+
+    def test_table_of_column_ambiguous(self):
+        db = DatabaseSchema("db")
+        db.add(make_table("t1", cols=("a", "b")))
+        db.add(make_table("t2", cols=("a", "c")))
+        with pytest.raises(KeyError, match="ambiguous"):
+            db.table_of_column("a")
+
+    def test_table_of_column_missing(self):
+        with pytest.raises(KeyError, match="no table"):
+            DatabaseSchema("db").table_of_column("x")

@@ -1,0 +1,92 @@
+"""Unit tests for histograms and statistics building."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import EquiDepthHistogram, build_statistics
+from repro.datagen.tpch import generate_tpch
+
+
+class TestEquiDepthHistogram:
+    def test_empty_column(self):
+        hist = EquiDepthHistogram(np.array([]))
+        assert hist.n_rows == 0
+        assert hist.selectivity_range(0, 10) == 0.0
+        assert hist.selectivity_eq(5) == 0.0
+
+    def test_full_range_selectivity_is_one(self):
+        hist = EquiDepthHistogram(np.arange(1000))
+        assert hist.selectivity_range(0, 999) == pytest.approx(1.0, abs=1e-6)
+
+    def test_half_range_uniform(self):
+        hist = EquiDepthHistogram(np.arange(1000), n_buckets=32)
+        assert hist.selectivity_range(0, 499) == pytest.approx(0.5, abs=0.05)
+
+    def test_out_of_domain_range(self):
+        hist = EquiDepthHistogram(np.arange(100))
+        assert hist.selectivity_range(1000, 2000) == 0.0
+
+    def test_reversed_range(self):
+        hist = EquiDepthHistogram(np.arange(100))
+        assert hist.selectivity_range(50, 10) == 0.0
+
+    def test_eq_selectivity_uniform_ndv(self):
+        hist = EquiDepthHistogram(np.repeat(np.arange(10), 10))
+        assert hist.selectivity_eq(3) == pytest.approx(0.1)
+
+    def test_eq_selectivity_out_of_domain(self):
+        hist = EquiDepthHistogram(np.arange(10))
+        assert hist.selectivity_eq(-5) == 0.0
+        assert hist.selectivity_eq(100) == 0.0
+
+    def test_distinct_count(self):
+        hist = EquiDepthHistogram(np.array([1, 1, 2, 2, 3]))
+        assert hist.n_distinct == 3
+
+    def test_min_max(self):
+        hist = EquiDepthHistogram(np.array([5.0, -2.0, 9.0]))
+        assert hist.min_value == -2.0
+        assert hist.max_value == 9.0
+
+    def test_single_value_column(self):
+        hist = EquiDepthHistogram(np.full(50, 7))
+        assert hist.selectivity_range(7, 7) == pytest.approx(1.0)
+        assert hist.selectivity_eq(7) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200),
+           st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=60)
+    def test_range_selectivity_bounded(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        hist = EquiDepthHistogram(np.asarray(values), n_buckets=8)
+        sel = hist.selectivity_range(low, high)
+        assert 0.0 <= sel <= 1.0
+
+    @given(st.lists(st.integers(0, 30), min_size=5, max_size=100))
+    @settings(max_examples=60)
+    def test_wider_range_never_less_selective(self, values):
+        hist = EquiDepthHistogram(np.asarray(values), n_buckets=8)
+        narrow = hist.selectivity_range(10, 20)
+        wide = hist.selectivity_range(5, 25)
+        assert wide >= narrow - 1e-9
+
+
+class TestBuildStatistics:
+    def test_covers_all_tables_and_columns(self):
+        db = generate_tpch(lineitem_rows=500, seed=3)
+        stats = build_statistics(db, n_buckets=8)
+        for name, table in db.tables.items():
+            tstats = stats.table(name)
+            assert tstats.n_rows == table.n_rows
+            for column in table.data:
+                assert tstats.column(column).n_distinct >= 1
+
+    def test_missing_lookups_raise(self):
+        db = generate_tpch(lineitem_rows=500, seed=3)
+        stats = build_statistics(db, n_buckets=8)
+        with pytest.raises(KeyError):
+            stats.table("ghost")
+        with pytest.raises(KeyError):
+            stats.table("orders").column("ghost")

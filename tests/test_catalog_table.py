@@ -1,0 +1,124 @@
+"""Unit tests for repro.catalog.table: columnar tables and indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.table import SortedIndex, Table, _expand_ranges
+
+
+def make_table(values, clustered=None):
+    schema = TableSchema("t", (Column("k"), Column("v", "float64")))
+    data = {"k": np.asarray(values), "v": np.asarray(values, dtype=float) * 1.5}
+    return Table(schema, data, clustered_on=clustered)
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        out = _expand_ranges(np.array([0, 5]), np.array([2, 3]))
+        assert out.tolist() == [0, 1, 5, 6, 7]
+
+    def test_empty_counts(self):
+        out = _expand_ranges(np.array([3, 9]), np.array([0, 0]))
+        assert out.tolist() == []
+
+    def test_mixed(self):
+        out = _expand_ranges(np.array([1, 4, 4]), np.array([1, 0, 2]))
+        assert out.tolist() == [1, 4, 5]
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 5)),
+                    max_size=20))
+    def test_matches_naive(self, pairs):
+        starts = np.array([p[0] for p in pairs], dtype=np.int64)
+        counts = np.array([p[1] for p in pairs], dtype=np.int64)
+        expected = [s + i for s, c in pairs for i in range(c)]
+        assert _expand_ranges(starts, counts).tolist() == expected
+
+
+class TestSortedIndex:
+    def test_lookup_many_counts(self):
+        idx = SortedIndex("k", np.array([5, 3, 5, 1, 5]))
+        positions, counts = idx.lookup_many(np.array([5, 2, 3]))
+        assert counts.tolist() == [3, 0, 1]
+        assert sorted(positions[:3].tolist()) == [0, 2, 4]
+        assert positions[3] == 1
+
+    def test_lookup_range_inclusive(self):
+        idx = SortedIndex("k", np.array([10, 20, 30, 40]))
+        assert sorted(idx.lookup_range(20, 30).tolist()) == [1, 2]
+
+    def test_lookup_range_all(self):
+        idx = SortedIndex("k", np.array([4, 2, 9]))
+        assert len(idx.lookup_range(-100, 100)) == 3
+
+    def test_match_counts(self):
+        idx = SortedIndex("k", np.array([1, 1, 2]))
+        assert idx.match_counts(np.array([1, 2, 3])).tolist() == [2, 1, 0]
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=50),
+           st.lists(st.integers(0, 9), min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_lookup_matches_naive(self, values, probes):
+        values = np.asarray(values)
+        idx = SortedIndex("k", values)
+        positions, counts = idx.lookup_many(np.asarray(probes))
+        offset = 0
+        for probe, count in zip(probes, counts):
+            found = positions[offset:offset + count]
+            assert (values[found] == probe).all()
+            assert count == int((values == probe).sum())
+            offset += count
+
+
+class TestTable:
+    def test_ragged_columns_rejected(self):
+        schema = TableSchema("t", (Column("k"), Column("v")))
+        with pytest.raises(ValueError, match="ragged"):
+            Table(schema, {"k": np.arange(3), "v": np.arange(4)})
+
+    def test_missing_column_rejected(self):
+        schema = TableSchema("t", (Column("k"), Column("v")))
+        with pytest.raises(ValueError, match="missing"):
+            Table(schema, {"k": np.arange(3)})
+
+    def test_cluster_on_sorts_rows(self):
+        table = make_table([3, 1, 2])
+        table.cluster_on("k")
+        assert table.column("k").tolist() == [1, 2, 3]
+        assert table.column("v").tolist() == [1.5, 3.0, 4.5]
+
+    def test_cluster_on_rebuilds_indexes(self):
+        table = make_table([3, 1, 2])
+        table.create_index("v")
+        table.cluster_on("k")
+        positions, counts = table.indexes["v"].lookup_many(np.array([3.0]))
+        assert counts.tolist() == [1]
+        assert table.column("v")[positions[0]] == 3.0
+
+    def test_has_index_secondary_and_clustered(self):
+        table = make_table([1, 2, 3], clustered="k")
+        assert table.has_index("k")
+        assert not table.has_index("v")
+        table.create_index("v")
+        assert table.has_index("v")
+
+    def test_seek_index_on_clustered_column(self):
+        table = make_table([1, 2, 3], clustered="k")
+        index = table.seek_index("k")
+        _, counts = index.lookup_many(np.array([2]))
+        assert counts.tolist() == [1]
+
+    def test_seek_index_missing_raises(self):
+        with pytest.raises(KeyError, match="no index"):
+            make_table([1]).seek_index("v")
+
+    def test_drop_index(self):
+        table = make_table([1, 2])
+        table.create_index("v")
+        table.drop_index("v")
+        assert not table.has_index("v")
+
+    def test_row_width(self):
+        assert make_table([1]).row_width == 16

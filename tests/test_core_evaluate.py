@@ -1,0 +1,99 @@
+"""Tests for selection-quality evaluation (§6 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import (
+    evaluate_choices,
+    evaluate_fixed,
+    evaluate_oracle,
+    evaluate_selection,
+    ratios_to_optimum,
+)
+from repro.core.selection import EstimatorSelector
+from repro.core.training import TrainingData
+from repro.learning.mart import MARTParams
+
+
+@pytest.fixture()
+def crafted_data():
+    """Four pipelines with hand-set errors for two estimators."""
+    errors = np.array([
+        [0.10, 0.50],
+        [0.40, 0.10],
+        [0.10, 0.11],
+        [0.30, 0.90],
+    ])
+    return TrainingData(
+        X=np.arange(8, dtype=float).reshape(4, 2),
+        errors_l1=errors,
+        errors_l2=errors * 1.5,
+        feature_names=["f0", "f1"],
+        estimator_names=["a", "b"],
+        meta=[{"query": f"q{i}", "db": "d", "pid": 0, "duration": 1.0,
+               "total_getnext": 1.0} for i in range(4)],
+    )
+
+
+class TestRatios:
+    def test_ratio_one_for_optimal_choice(self, crafted_data):
+        ratios = ratios_to_optimum(crafted_data.errors_l1,
+                                   np.array([0, 1, 0, 0]))
+        assert np.allclose(ratios, 1.0)
+
+    def test_ratio_reflects_suboptimality(self, crafted_data):
+        ratios = ratios_to_optimum(crafted_data.errors_l1,
+                                   np.array([1, 1, 0, 0]))
+        assert ratios[0] == pytest.approx(5.0, rel=0.01)
+
+
+class TestEvaluateChoices:
+    def test_oracle_choice_metrics(self, crafted_data):
+        ev = evaluate_oracle(crafted_data)
+        assert ev.avg_l1 == pytest.approx(np.array([0.1, 0.1, 0.1, 0.3]).mean())
+        assert ev.optimal_rate == 1.0
+        assert all(v == 0.0 for v in ev.ratio_tail.values())
+
+    def test_fixed_estimator_metrics(self, crafted_data):
+        ev = evaluate_fixed(crafted_data, "a")
+        assert ev.avg_l1 == pytest.approx(crafted_data.errors_l1[:, 0].mean())
+        # 'a' is optimal on rows 0, 2 (near-tie), 3 -> 3/4
+        assert ev.optimal_rate == pytest.approx(0.75)
+
+    def test_ratio_tail_counts(self, crafted_data):
+        ev = evaluate_fixed(crafted_data, "b")
+        # row 0: 5x ratio; row 3: 3x ratio; rows 1-2 optimal(ish)
+        assert ev.ratio_tail[2.0] == pytest.approx(0.5)
+        assert ev.ratio_tail[5.0] == pytest.approx(0.0)  # 5.0 not > 5.0
+
+    def test_per_estimator_tables(self, crafted_data):
+        ev = evaluate_fixed(crafted_data, "a")
+        assert set(ev.per_estimator_l1) == {"a", "b"}
+        assert ev.oracle_l1 <= min(ev.per_estimator_l1.values())
+
+    def test_summary_renders(self, crafted_data):
+        text = evaluate_fixed(crafted_data, "a").summary()
+        assert "avg L1" in text and "oracle" in text
+
+
+class TestEvaluateSelection:
+    def test_trained_selector_evaluation(self, crafted_data):
+        selector = EstimatorSelector(["a", "b"],
+                                     MARTParams(n_trees=5, max_leaves=2))
+        selector.fit(crafted_data.X, crafted_data.errors_l1)
+        ev = evaluate_selection(selector, crafted_data)
+        assert 0.0 <= ev.optimal_rate <= 1.0
+        assert ev.avg_l1 >= ev.oracle_l1 - 1e-12
+
+    def test_estimator_mismatch_rejected(self, crafted_data):
+        selector = EstimatorSelector(["x", "y"],
+                                     MARTParams(n_trees=2, max_leaves=2))
+        selector.fit(crafted_data.X, crafted_data.errors_l1)
+        with pytest.raises(ValueError):
+            evaluate_selection(selector, crafted_data)
+
+    def test_evaluate_choices_arbitrary_vector(self, crafted_data):
+        ev = evaluate_choices("always_b", crafted_data,
+                              np.array([1, 1, 1, 1]))
+        assert ev.name == "always_b"
+        assert ev.avg_l1 == pytest.approx(crafted_data.errors_l1[:, 1].mean())

@@ -1,0 +1,97 @@
+"""Tests for the online progress monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import ProgressMonitor
+from repro.core.training import collect_training_data, train_selector
+from repro.engine.executor import ExecutorConfig
+from repro.features.vector import FeatureExtractor
+from repro.learning.mart import MARTParams
+from repro.progress.registry import all_estimators
+
+FAST_MART = MARTParams(n_trees=8, max_leaves=4)
+
+
+@pytest.fixture(scope="module")
+def trained_selectors(pipeline_runs):
+    estimators = all_estimators()
+    static_data = collect_training_data(
+        pipeline_runs, estimators, FeatureExtractor("static"))
+    dynamic_data = collect_training_data(
+        pipeline_runs, estimators,
+        FeatureExtractor("dynamic", estimators=estimators))
+    return (train_selector(static_data, FAST_MART),
+            train_selector(dynamic_data, FAST_MART))
+
+
+@pytest.fixture(scope="module")
+def monitored(tpch_db, tpch_planner, join_query, trained_selectors):
+    static_sel, dynamic_sel = trained_selectors
+    monitor = ProgressMonitor(static_selector=static_sel,
+                              dynamic_selector=dynamic_sel,
+                              refresh_every=3)
+    plan = tpch_planner.plan(join_query)
+    config = ExecutorConfig(batch_size=256, target_observations=60, seed=2)
+    return monitor.run(tpch_db, plan, config=config)
+
+
+class TestProgressMonitor:
+    def test_fallback_validation(self):
+        with pytest.raises(ValueError):
+            ProgressMonitor(fallback="nonexistent")
+
+    def test_produces_reports(self, monitored):
+        _, reports = monitored
+        assert len(reports) >= 5
+
+    def test_reports_causal_and_ordered(self, monitored):
+        _, reports = monitored
+        times = [r.time for r in reports]
+        assert times == sorted(times)
+
+    def test_progress_in_range(self, monitored):
+        _, reports = monitored
+        for report in reports:
+            assert 0.0 <= report.progress <= 1.0
+            for value in report.pipeline_progress.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_progress_reaches_near_completion(self, monitored):
+        _, reports = monitored
+        assert reports[-1].progress >= 0.8
+
+    def test_active_pipeline_advances(self, monitored):
+        _, reports = monitored
+        pids = [r.active_pid for r in reports if r.active_pid >= 0]
+        assert pids == sorted(pids) or len(set(pids)) <= 2
+
+    def test_estimator_choices_from_pool(self, monitored):
+        _, reports = monitored
+        pool = {e.name for e in all_estimators()}
+        for report in reports:
+            for name in report.pipeline_estimator.values():
+                assert name in pool
+
+    def test_without_selectors_uses_fallback(self, tpch_db, tpch_planner,
+                                             join_query):
+        monitor = ProgressMonitor(fallback="tgn", refresh_every=4)
+        plan = tpch_planner.plan(join_query)
+        config = ExecutorConfig(batch_size=256, target_observations=40, seed=3)
+        run, reports = monitor.run(tpch_db, plan, config=config)
+        assert reports
+        names = {n for r in reports for n in r.pipeline_estimator.values()}
+        assert names == {"tgn"}
+
+    def test_on_report_hook_called(self, tpch_db, tpch_planner, join_query):
+        seen = []
+        monitor = ProgressMonitor(on_report=seen.append, refresh_every=5)
+        plan = tpch_planner.plan(join_query)
+        config = ExecutorConfig(batch_size=256, target_observations=40, seed=3)
+        _, reports = monitor.run(tpch_db, plan, config=config)
+        assert len(seen) == len(reports)
+
+    def test_run_returns_standard_queryrun(self, monitored):
+        run, _ = monitored
+        assert run.total_time > 0
+        assert np.allclose(run.K[-1], run.N)

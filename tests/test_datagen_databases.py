@@ -1,0 +1,131 @@
+"""Unit tests for the TPC-H / TPC-DS / real-workload database generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.sales import generate_real1, generate_real2
+from repro.datagen.tpch import generate_tpch
+from repro.datagen.tpcds import generate_tpcds
+
+
+class TestTpch:
+    def test_table_size_ratios(self):
+        db = generate_tpch(lineitem_rows=12_000, seed=1)
+        assert db.table("lineitem").n_rows == 12_000
+        assert db.table("orders").n_rows == 3_000
+        assert db.table("customer").n_rows == 300
+        assert db.table("part").n_rows == 400
+        assert db.table("partsupp").n_rows == 1_600
+        assert db.table("nation").n_rows == 25
+        assert db.table("region").n_rows == 5
+
+    def test_foreign_keys_valid(self):
+        db = generate_tpch(lineitem_rows=2_000, z=1.0, seed=2)
+        li = db.table("lineitem")
+        assert li.column("l_orderkey").max() < db.table("orders").n_rows
+        assert li.column("l_partkey").max() < db.table("part").n_rows
+        assert li.column("l_suppkey").max() < db.table("supplier").n_rows
+        orders = db.table("orders")
+        assert orders.column("o_custkey").max() < db.table("customer").n_rows
+
+    def test_clustered_order_holds(self):
+        db = generate_tpch(lineitem_rows=2_000, z=1.0, seed=2)
+        for table in db.tables.values():
+            key = table.clustered_on
+            assert key is not None
+            assert (np.diff(table.column(key)) >= 0).all(), table.name
+
+    def test_deterministic(self):
+        a = generate_tpch(lineitem_rows=1_000, z=1.0, seed=5)
+        b = generate_tpch(lineitem_rows=1_000, z=1.0, seed=5)
+        assert (a.table("lineitem").column("l_partkey")
+                == b.table("lineitem").column("l_partkey")).all()
+
+    def test_skew_increases_hot_order_fanout(self):
+        flat = generate_tpch(lineitem_rows=8_000, z=0.0, seed=3)
+        skew = generate_tpch(lineitem_rows=8_000, z=2.0, seed=3)
+        flat_max = np.bincount(flat.table("lineitem").column("l_orderkey")).max()
+        skew_max = np.bincount(skew.table("lineitem").column("l_orderkey")).max()
+        assert skew_max > 2 * flat_max
+
+    def test_shipdate_after_orderdate(self):
+        db = generate_tpch(lineitem_rows=2_000, seed=4)
+        li = db.table("lineitem")
+        orders = db.table("orders")
+        odate = orders.column("o_orderdate")[li.column("l_orderkey")]
+        assert (li.column("l_shipdate") > odate).all()
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            generate_tpch(lineitem_rows=10)
+
+    def test_db_name_encodes_skew(self):
+        assert generate_tpch(1_000, z=1.0).name == "tpch_z1"
+
+
+class TestTpcds:
+    def test_fact_ratios(self):
+        db = generate_tpcds(fact_rows=6_000, seed=1)
+        assert db.table("store_sales").n_rows == 6_000
+        assert db.table("catalog_sales").n_rows == 4_000
+        assert db.table("web_sales").n_rows == 3_000
+
+    def test_foreign_keys_valid(self):
+        db = generate_tpcds(fact_rows=3_000, seed=1)
+        ss = db.table("store_sales")
+        assert ss.column("ss_item_sk").max() < db.table("item").n_rows
+        assert ss.column("ss_customer_sk").max() < db.table("customer_dim").n_rows
+        assert ss.column("ss_store_sk").max() < db.table("store").n_rows
+        cd = db.table("customer_dim")
+        assert cd.column("cd_address_sk").max() < db.table("customer_address").n_rows
+
+    def test_facts_clustered_on_date(self):
+        db = generate_tpcds(fact_rows=3_000, seed=1)
+        for fact in ("store_sales", "catalog_sales", "web_sales"):
+            key = db.table(fact).clustered_on
+            assert key.endswith("sold_date_sk")
+            assert (np.diff(db.table(fact).column(key)) >= 0).all()
+
+
+class TestRealSchemas:
+    def test_real1_tables_present(self):
+        db = generate_real1(fact_rows=3_000, seed=1)
+        for name in ("sales", "returns", "product", "category", "store",
+                     "employee", "customer_r1", "promotion_r1", "calendar"):
+            assert name in db.tables
+
+    def test_real1_price_correlates_with_category(self):
+        db = generate_real1(fact_rows=3_000, seed=1)
+        product = db.table("product")
+        cats = product.column("prod_category")
+        prices = product.column("prod_price")
+        # Per-category price variance should be far below global variance.
+        within = np.mean([prices[cats == c].std()
+                          for c in np.unique(cats) if (cats == c).sum() > 3])
+        assert within < prices.std()
+
+    def test_real1_fk_validity(self):
+        db = generate_real1(fact_rows=2_000, seed=2)
+        sales = db.table("sales")
+        assert sales.column("sale_product").max() < db.table("product").n_rows
+        assert sales.column("sale_customer").max() < db.table("customer_r1").n_rows
+
+    def test_real2_supports_12_way_joins(self):
+        db = generate_real2(fact_rows=2_000, seed=1)
+        assert len(db.tables) >= 12
+
+    def test_real2_fk_validity(self):
+        db = generate_real2(fact_rows=2_000, seed=1)
+        shp = db.table("shipments")
+        assert shp.column("shp_origin_port").max() < db.table("port").n_rows
+        assert shp.column("shp_commodity").max() < db.table("commodity").n_rows
+        port = db.table("port")
+        assert port.column("port_country").max() < db.table("country").n_rows
+
+    def test_real2_value_derived_from_commodity(self):
+        db = generate_real2(fact_rows=2_000, seed=1)
+        shp = db.table("shipments")
+        density = db.table("commodity").column("comm_value_density")
+        expected = (shp.column("shp_teu")
+                    * density[shp.column("shp_commodity")]).round(2)
+        assert np.allclose(shp.column("shp_value"), expected)

@@ -1,0 +1,89 @@
+"""Unit tests for the Zipfian sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.zipf import skewed_fanout, zipf_probabilities, zipf_sample
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        for z in (0.0, 0.5, 1.0, 2.0):
+            probs = zipf_probabilities(100, z)
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_uniform_at_zero(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(50, 1.0)
+        assert (np.diff(probs) <= 1e-15).all()
+
+    def test_more_skew_more_head_mass(self):
+        head1 = zipf_probabilities(100, 1.0)[:5].sum()
+        head2 = zipf_probabilities(100, 2.0)[:5].sum()
+        assert head2 > head1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestZipfSample:
+    def test_values_in_domain(self, rng):
+        values = zipf_sample(rng, 1000, 50, 1.0)
+        assert values.min() >= 0
+        assert values.max() < 50
+
+    def test_deterministic_under_seed(self):
+        a = zipf_sample(np.random.default_rng(9), 100, 20, 1.0)
+        b = zipf_sample(np.random.default_rng(9), 100, 20, 1.0)
+        assert (a == b).all()
+
+    def test_zero_size(self, rng):
+        assert len(zipf_sample(rng, 0, 10, 1.0)) == 0
+
+    def test_negative_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            zipf_sample(rng, -1, 10, 1.0)
+
+    def test_skew_concentrates_mass(self, rng):
+        skewed = zipf_sample(rng, 20_000, 100, 1.5)
+        uniform = zipf_sample(rng, 20_000, 100, 0.0)
+        top_skewed = np.bincount(skewed, minlength=100).max()
+        top_uniform = np.bincount(uniform, minlength=100).max()
+        assert top_skewed > 3 * top_uniform
+
+    def test_shuffle_ranks_changes_identity_of_head(self, rng):
+        plain = zipf_sample(np.random.default_rng(3), 5000, 50, 2.0)
+        assert np.bincount(plain).argmax() == 0  # rank 1 maps to value 0
+        shuffled = zipf_sample(np.random.default_rng(3), 5000, 50, 2.0,
+                               shuffle_ranks=True)
+        assert shuffled.min() >= 0 and shuffled.max() < 50
+
+    def test_large_domain_approximation(self, rng):
+        values = zipf_sample(rng, 5000, 1 << 24, 1.1)
+        assert values.min() >= 0
+        assert values.max() < (1 << 24)
+
+    @given(st.integers(1, 200), st.floats(0.0, 3.0))
+    @settings(max_examples=40)
+    def test_domain_respected(self, n, z):
+        values = zipf_sample(np.random.default_rng(0), 50, n, z)
+        assert ((0 <= values) & (values < n)).all()
+
+
+class TestSkewedFanout:
+    def test_every_child_has_valid_parent(self, rng):
+        fks = skewed_fanout(rng, 40, 1000, 1.0)
+        assert ((0 <= fks) & (fks < 40)).all()
+
+    def test_uniform_fanout_balanced(self, rng):
+        fks = skewed_fanout(rng, 10, 10_000, 0.0)
+        counts = np.bincount(fks, minlength=10)
+        assert counts.max() < 2 * counts.min() + 100

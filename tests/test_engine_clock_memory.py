@@ -1,0 +1,98 @@
+"""Unit tests for the simulated clock, cost model and memory manager."""
+
+import numpy as np
+import pytest
+
+from repro.engine.clock import CostModel, SimClock
+from repro.engine.memory import MemoryManager
+from repro.plan.nodes import Op
+
+
+def quiet_cost(**overrides):
+    params = dict(noise_sigma=0.0, load_sigma=0.0, time_scale=1.0)
+    params.update(overrides)
+    return CostModel(**params)
+
+
+class TestCostModel:
+    def test_cpu_seconds_linear(self):
+        cost = quiet_cost()
+        assert cost.cpu_seconds(Op.FILTER, 100) == pytest.approx(
+            100 * cost.cpu_per_row[Op.FILTER])
+
+    def test_sort_cost_superlinear(self):
+        cost = quiet_cost()
+        small = cost.sort_cpu_seconds(1000, 1000)
+        big = cost.sort_cpu_seconds(1000, 1_000_000)
+        assert big > small
+
+    def test_sort_cost_zero_rows(self):
+        assert quiet_cost().sort_cpu_seconds(0, 100) == 0.0
+
+    def test_every_op_has_a_cost(self):
+        cost = quiet_cost()
+        for op in Op:
+            assert cost.cpu_per_row[op] > 0
+
+
+class TestSimClock:
+    def test_deterministic_advance_without_noise(self):
+        clock = SimClock(quiet_cost(), np.random.default_rng(0))
+        assert clock.advance(1.5) == pytest.approx(1.5)
+        assert clock.now == pytest.approx(1.5)
+
+    def test_time_scale_multiplies(self):
+        clock = SimClock(quiet_cost(time_scale=100.0), np.random.default_rng(0))
+        clock.advance(1.0)
+        assert clock.now == pytest.approx(100.0)
+
+    def test_zero_advance(self):
+        clock = SimClock(quiet_cost(), np.random.default_rng(0))
+        assert clock.advance(0.0) == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock(quiet_cost(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_noise_is_seeded(self):
+        a = SimClock(quiet_cost(noise_sigma=0.2), np.random.default_rng(7))
+        b = SimClock(quiet_cost(noise_sigma=0.2), np.random.default_rng(7))
+        for _ in range(10):
+            assert a.advance(1.0) == b.advance(1.0)
+
+    def test_load_drift_keeps_time_positive(self):
+        clock = SimClock(quiet_cost(load_sigma=0.5), np.random.default_rng(3))
+        for _ in range(500):
+            assert clock.advance(0.01) > 0
+
+
+class TestMemoryManager:
+    def test_fits_in_budget(self):
+        mem = MemoryManager(budget_bytes=1000.0)
+        decision = mem.request(rows=10, row_width=10.0)
+        assert not decision.spilled
+        assert decision.granted_bytes == 100.0
+
+    def test_spills_excess(self):
+        mem = MemoryManager(budget_bytes=100.0)
+        decision = mem.request(rows=30, row_width=10.0)
+        assert decision.spilled
+        assert decision.spilled_rows == 20
+        assert decision.spilled_bytes == pytest.approx(200.0)
+
+    def test_spill_accounting_accumulates(self):
+        mem = MemoryManager(budget_bytes=50.0)
+        mem.request(rows=10, row_width=10.0)
+        mem.request(rows=10, row_width=10.0)
+        assert mem.spill_events == 2
+        assert mem.total_spilled_bytes == pytest.approx(100.0)
+
+    def test_spilled_rows_capped_at_rows(self):
+        mem = MemoryManager(budget_bytes=1.0)
+        decision = mem.request(rows=5, row_width=100.0)
+        assert decision.spilled_rows == 5
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            MemoryManager(budget_bytes=0.0)

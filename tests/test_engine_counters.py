@@ -1,0 +1,51 @@
+"""Tests for the counter store and observation log."""
+
+import numpy as np
+
+from repro.engine.counters import CounterStore, ObservationLog, UNBOUNDED
+
+
+class TestCounterStore:
+    def test_initial_state(self):
+        store = CounterStore(3)
+        assert store.K.tolist() == [0, 0, 0]
+        assert not store.done.any()
+        assert np.isnan(store.first_activity).all()
+
+    def test_record_activity_first_and_last(self):
+        store = CounterStore(2)
+        store.record_activity(0, 1.0)
+        store.record_activity(0, 5.0)
+        assert store.first_activity[0] == 1.0
+        assert store.last_activity[0] == 5.0
+        assert np.isnan(store.first_activity[1])
+
+
+class TestObservationLog:
+    def test_empty_log_arrays(self):
+        log = ObservationLog(2)
+        arrays = log.as_arrays()
+        assert arrays["times"].shape == (0,)
+        assert arrays["K"].shape == (0, 2)
+        assert log.last_time == -np.inf
+
+    def test_snapshot_copies_state(self):
+        store = CounterStore(2)
+        log = ObservationLog(2)
+        store.K[0] = 5.0
+        log.snapshot(1.0, store, np.zeros(2), np.full(2, UNBOUNDED))
+        store.K[0] = 99.0  # later mutation must not leak into the snapshot
+        arrays = log.as_arrays()
+        assert arrays["K"][0, 0] == 5.0
+
+    def test_snapshot_accumulates(self):
+        store = CounterStore(1)
+        log = ObservationLog(1)
+        for t in (0.5, 1.5, 2.5):
+            store.K[0] += 1
+            log.snapshot(t, store, store.K.copy(), store.K.copy())
+        assert len(log) == 3
+        arrays = log.as_arrays()
+        assert arrays["times"].tolist() == [0.5, 1.5, 2.5]
+        assert arrays["K"][:, 0].tolist() == [1.0, 2.0, 3.0]
+        assert log.last_time == 2.5

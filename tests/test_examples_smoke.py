@@ -1,0 +1,33 @@
+"""Smoke test: the quickstart example must run end to end.
+
+The heavier examples (train_and_monitor, adhoc_generalization) exercise
+code paths already covered by the integration tests; quickstart is the
+user's first contact and must never rot.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "Physical plan" in result.stdout
+    assert "Done:" in result.stdout
+    assert "pipeline" in result.stdout
+
+
+def test_examples_present_and_importable():
+    expected = {"quickstart.py", "train_and_monitor.py",
+                "adhoc_generalization.py", "estimator_gallery.py"}
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")  # syntax-checks without running
+        assert '"""' in source  # every example is documented

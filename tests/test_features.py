@@ -1,0 +1,151 @@
+"""Tests for static (§4.3) and dynamic (§4.4) features."""
+
+import numpy as np
+import pytest
+
+from repro.features.dynamic import (
+    MISSING,
+    dynamic_feature_names,
+    dynamic_features,
+)
+from repro.features.static import (
+    OPS_UNIVERSE,
+    _ancestor_matrix,
+    static_feature_names,
+    static_features,
+)
+from repro.features.vector import FeatureExtractor
+from repro.plan.nodes import Op
+from repro.progress.registry import all_estimators
+
+from helpers import make_pipeline_run
+
+
+@pytest.fixture(scope="module")
+def nlj_pipeline():
+    """filter(0) <- nlj(1) <- [scan(2), seek(3)] with known estimates."""
+    ramp = np.linspace(0, 1, 21)
+    K = np.column_stack([ramp * 50, ramp * 100, ramp * 100, ramp * 200])
+    return make_pipeline_run(
+        [Op.FILTER, Op.NESTED_LOOP_JOIN, Op.INDEX_SCAN, Op.INDEX_SEEK], K,
+        parents=[-1, 0, 1, 1],
+        drivers=[2],
+        E0=np.array([50.0, 100.0, 100.0, 200.0]),
+        table_rows=np.array([np.nan, np.nan, 100.0, 1000.0]),
+    )
+
+
+class TestAncestorMatrix:
+    def test_chain(self):
+        anc = _ancestor_matrix(np.array([-1, 0, 1]))
+        assert anc[0, 1] and anc[0, 2] and anc[1, 2]
+        assert not anc[1, 0] and not anc[2, 2]
+
+    def test_branching(self):
+        anc = _ancestor_matrix(np.array([-1, 0, 0]))
+        assert anc[0, 1] and anc[0, 2]
+        assert not anc[1, 2]
+
+
+class TestStaticFeatures:
+    def test_names_match_values(self, nlj_pipeline):
+        values = static_features(nlj_pipeline)
+        assert set(values) == set(static_feature_names())
+
+    def test_counts(self, nlj_pipeline):
+        values = static_features(nlj_pipeline)
+        assert values["count_nested_loop_join"] == 1.0
+        assert values["count_index_seek"] == 1.0
+        assert values["count_sort"] == 0.0
+
+    def test_sel_at_is_relative_cardinality(self, nlj_pipeline):
+        values = static_features(nlj_pipeline)
+        total = 50 + 100 + 100 + 200
+        assert values["sel_at_index_seek"] == pytest.approx(200 / total)
+
+    def test_sel_above_below_nlj(self, nlj_pipeline):
+        values = static_features(nlj_pipeline)
+        total = 450.0
+        # Nodes above an NLJ node: the filter (50).
+        assert values["sel_above_nested_loop_join"] == pytest.approx(50 / total)
+        # Nodes below: scan + seek (300).
+        assert values["sel_below_nested_loop_join"] == pytest.approx(300 / total)
+
+    def test_sel_at_dn(self, nlj_pipeline):
+        values = static_features(nlj_pipeline)
+        assert values["sel_at_dn"] == pytest.approx(100 / 450.0)
+
+    def test_expansion(self, nlj_pipeline):
+        values = static_features(nlj_pipeline)
+        assert values["expansion"] == pytest.approx(450.0 / 100.0)
+
+    def test_all_ops_in_universe_have_features(self):
+        names = static_feature_names()
+        for op in OPS_UNIVERSE:
+            assert f"count_{op.value}" in names
+            assert f"sel_below_{op.value}" in names
+
+
+class TestDynamicFeatures:
+    @pytest.fixture(scope="class")
+    def estimators(self):
+        return {e.name: e for e in all_estimators()}
+
+    def test_names_match_values(self, nlj_pipeline, estimators):
+        values = dynamic_features(nlj_pipeline, estimators)
+        assert set(values) == set(dynamic_feature_names())
+
+    def test_pairwise_disagreement_definition(self, nlj_pipeline, estimators):
+        values = dynamic_features(nlj_pipeline, estimators)
+        t = nlj_pipeline.observation_at_driver_fraction(10.0)
+        dne = estimators["dne"].estimate(nlj_pipeline)[t]
+        tgn = estimators["tgn"].estimate(nlj_pipeline)[t]
+        assert values["dne_vs_tgn_at_10"] == pytest.approx(abs(dne - tgn))
+
+    def test_missing_markers_are_sentinels(self, estimators):
+        # Driver never reaches 1%: all dynamic features are MISSING.
+        K = np.zeros((5, 1))
+        pr = make_pipeline_run([Op.INDEX_SCAN], K, drivers=[0],
+                               E0=np.array([100.0]), N=np.array([100.0]),
+                               table_rows=np.array([100.0]))
+        values = dynamic_features(pr, estimators)
+        assert all(v == MISSING for v in values.values())
+
+    def test_uses_precomputed_estimates(self, nlj_pipeline, estimators):
+        estimates = {name: est.estimate(nlj_pipeline)
+                     for name, est in estimators.items()}
+        a = dynamic_features(nlj_pipeline, estimators, estimates)
+        b = dynamic_features(nlj_pipeline, estimators)
+        assert a == b
+
+
+class TestFeatureExtractor:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor("hybrid")
+
+    def test_static_vector_length(self, nlj_pipeline):
+        extractor = FeatureExtractor("static")
+        vec = extractor.extract(nlj_pipeline)
+        assert vec.shape == (extractor.n_features,)
+        assert extractor.n_features == len(static_feature_names())
+
+    def test_dynamic_extends_static(self, nlj_pipeline):
+        static = FeatureExtractor("static")
+        dynamic = FeatureExtractor("dynamic")
+        assert dynamic.n_features > static.n_features
+        assert dynamic.feature_names[:static.n_features] == static.feature_names
+
+    def test_paper_scale_feature_count(self):
+        """The paper stores ~200 doubles per training record."""
+        n = FeatureExtractor("dynamic").n_features
+        assert 150 <= n <= 260
+
+    def test_matrix_stacking(self, pipeline_runs):
+        extractor = FeatureExtractor("static")
+        matrix = extractor.extract_matrix(pipeline_runs)
+        assert matrix.shape == (len(pipeline_runs), extractor.n_features)
+
+    def test_empty_matrix(self):
+        extractor = FeatureExtractor("static")
+        assert extractor.extract_matrix([]).shape == (0, extractor.n_features)

@@ -1,0 +1,86 @@
+"""End-to-end integration: the paper's pipeline from data to selection.
+
+These tests run the whole stack at tiny scale: generate databases, plan
+and execute workloads, collect features and errors, train MART selectors,
+and check the paper's *qualitative* claims (selection at least matches the
+best individual estimator; the oracle lower-bounds everything).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import (
+    evaluate_fixed,
+    evaluate_oracle,
+    evaluate_selection,
+)
+from repro.core.training import train_selector
+from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scale import TINY
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return ExperimentHarness(TINY, seed=0)
+
+
+@pytest.fixture(scope="module")
+def loo(harness):
+    """Leave-one-out: train on five workloads, test on tpch_partial."""
+    train, test = harness.leave_one_out("tpch_partial", "dynamic")
+    selector = train_selector(train, TINY.mart_params())
+    return selector, train, test
+
+
+class TestEndToEnd:
+    def test_training_data_covers_all_workloads(self, harness):
+        data = harness.pooled_training_data(list(harness.suite.names),
+                                            "static")
+        dbs = {m["db"] for m in data.meta}
+        assert dbs == set(harness.suite.names)
+
+    def test_selection_not_worse_than_best_fixed(self, loo):
+        selector, _, test = loo
+        ev_sel = evaluate_selection(selector, test)
+        best_fixed = min(
+            evaluate_fixed(test, name).avg_l1
+            for name in test.estimator_names)
+        # Qualitative claim: selection is competitive with (tiny-scale
+        # tolerance) or better than the best single estimator.
+        assert ev_sel.avg_l1 <= best_fixed * 1.15
+
+    def test_oracle_lower_bounds_selection(self, loo):
+        selector, _, test = loo
+        ev_sel = evaluate_selection(selector, test)
+        ev_oracle = evaluate_oracle(test)
+        assert ev_oracle.avg_l1 <= ev_sel.avg_l1 + 1e-12
+
+    def test_selection_beats_worst_fixed_clearly(self, loo):
+        selector, _, test = loo
+        ev_sel = evaluate_selection(selector, test)
+        worst_fixed = max(
+            evaluate_fixed(test, name).avg_l1
+            for name in test.estimator_names)
+        assert ev_sel.avg_l1 < worst_fixed
+
+    def test_in_sample_selection_close_to_oracle(self, loo):
+        selector, train, _ = loo
+        ev = evaluate_selection(selector, train)
+        oracle = evaluate_oracle(train)
+        assert ev.avg_l1 <= oracle.avg_l1 * 2.0 + 0.02
+
+    def test_no_single_estimator_dominates(self, harness):
+        """Figure 1's premise: every estimator is beaten somewhere."""
+        data = harness.pooled_training_data(list(harness.suite.names),
+                                            "static")
+        best = np.argmin(data.errors_l1[:, :3], axis=1)  # dne/tgn/luo
+        counts = np.bincount(best, minlength=3)
+        # each of the three classic estimators loses on >20% of pipelines
+        assert (counts < 0.8 * len(best)).all()
+
+    def test_errors_reproducible(self, harness):
+        fresh = ExperimentHarness(TINY, seed=0)
+        a = harness.training_data("real1", "static")
+        b = fresh.training_data("real1", "static")
+        assert np.allclose(a.errors_l1, b.errors_l1)
+        assert np.allclose(a.X, b.X)

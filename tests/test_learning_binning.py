@@ -1,0 +1,69 @@
+"""Tests for quantile pre-binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning.binning import QuantileBinner
+
+
+class TestQuantileBinner:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            QuantileBinner().transform(np.zeros((2, 2)))
+
+    def test_rejects_bad_bin_count(self):
+        with pytest.raises(ValueError):
+            QuantileBinner(max_bins=1)
+        with pytest.raises(ValueError):
+            QuantileBinner(max_bins=300)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            QuantileBinner().fit(np.zeros(5))
+
+    def test_feature_count_checked(self, rng):
+        binner = QuantileBinner().fit(rng.normal(size=(50, 3)))
+        with pytest.raises(ValueError):
+            binner.transform(rng.normal(size=(5, 4)))
+
+    def test_bins_in_range(self, rng):
+        X = rng.normal(size=(500, 4))
+        binner = QuantileBinner(max_bins=16)
+        Xb = binner.fit_transform(X)
+        assert Xb.dtype == np.uint8
+        assert Xb.max() < 16
+
+    def test_constant_feature_single_bin(self, rng):
+        X = np.column_stack([np.full(100, 3.0), rng.normal(size=100)])
+        Xb = QuantileBinner(max_bins=8).fit_transform(X)
+        assert len(np.unique(Xb[:, 0])) == 1
+
+    def test_monotone_mapping(self, rng):
+        X = rng.normal(size=(300, 1))
+        binner = QuantileBinner(max_bins=32).fit(X)
+        Xb = binner.transform(X)[:, 0]
+        order = np.argsort(X[:, 0])
+        assert (np.diff(Xb[order].astype(int)) >= 0).all()
+
+    def test_unseen_values_clamp(self, rng):
+        X = rng.uniform(0, 1, size=(100, 1))
+        binner = QuantileBinner(max_bins=8).fit(X)
+        out = binner.transform(np.array([[-100.0], [100.0]]))
+        assert out[0, 0] == 0
+        assert out[1, 0] == binner.transform(X).max()
+
+    def test_nan_maps_to_lowest_bin(self, rng):
+        X = rng.uniform(0, 1, size=(100, 1))
+        binner = QuantileBinner(max_bins=8).fit(X)
+        assert binner.transform(np.array([[np.nan]]))[0, 0] == 0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    @settings(max_examples=40)
+    def test_roundtrip_never_crashes(self, values):
+        X = np.asarray(values).reshape(-1, 1)
+        binner = QuantileBinner(max_bins=8).fit(X)
+        out = binner.transform(X)
+        assert out.shape == X.shape
+        assert out.max() < binner.total_bins

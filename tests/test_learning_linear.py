@@ -1,0 +1,52 @@
+"""Tests for the ridge-regression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.learning.linear import RidgeRegressor
+
+
+class TestRidgeRegressor:
+    def test_requires_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(rng.normal(size=(2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RidgeRegressor().fit(rng.normal(size=(5, 2)), np.zeros(4))
+
+    def test_recovers_linear_signal(self, rng):
+        X = rng.normal(size=(500, 4))
+        y = 2.0 * X[:, 0] - 1.5 * X[:, 2] + 3.0
+        model = RidgeRegressor(alpha=1e-6).fit(X, y)
+        assert np.abs(model.predict(X) - y).mean() < 0.01
+
+    def test_handles_constant_feature(self, rng):
+        X = np.column_stack([np.ones(100), rng.normal(size=100)])
+        y = X[:, 1]
+        model = RidgeRegressor().fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_regularization_shrinks_coefficients(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X[:, 0] + 0.1 * rng.normal(size=100)
+        small = RidgeRegressor(alpha=0.01).fit(X, y)
+        large = RidgeRegressor(alpha=1e4).fit(X, y)
+        assert np.abs(large.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_scale_invariant_prediction(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = X[:, 0] * 4
+        scaled = X.copy()
+        scaled[:, 0] *= 1000
+        a = RidgeRegressor(alpha=1e-3).fit(X, y).predict(X)
+        b = RidgeRegressor(alpha=1e-3).fit(scaled, y).predict(scaled)
+        assert np.allclose(a, b, atol=0.05)
+
+    def test_fit_seconds_recorded(self, rng):
+        model = RidgeRegressor().fit(rng.normal(size=(50, 2)), np.zeros(50))
+        assert model.fit_seconds_ >= 0

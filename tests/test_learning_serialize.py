@@ -1,0 +1,101 @@
+"""Round-trip tests for model serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.selection import EstimatorSelector
+from repro.learning.mart import MARTParams, MARTRegressor
+from repro.learning.serialize import (
+    load_selector,
+    mart_from_dict,
+    mart_to_dict,
+    save_selector,
+    selector_from_dict,
+    selector_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+FAST = MARTParams(n_trees=6, max_leaves=4)
+
+
+@pytest.fixture()
+def fitted_mart(rng):
+    X = rng.normal(size=(150, 5))
+    y = X[:, 0] + 0.5 * (X[:, 1] > 0)
+    return MARTRegressor(FAST).fit(X, y), X
+
+
+@pytest.fixture()
+def fitted_selector(rng):
+    X = rng.uniform(size=(120, 4))
+    errors = np.column_stack([X[:, 0], 1 - X[:, 0], np.full(120, 0.5)])
+    selector = EstimatorSelector(["a", "b", "c"], FAST)
+    selector.fit(X, errors)
+    return selector, X
+
+
+class TestTreeRoundTrip:
+    def test_predictions_identical(self, fitted_mart):
+        model, X = fitted_mart
+        tree = model.trees[0]
+        Xb = model.binner.transform(X)
+        clone = tree_from_dict(tree_to_dict(tree))
+        assert np.allclose(clone.predict_binned(Xb), tree.predict_binned(Xb))
+
+    def test_unfitted_tree_rejected(self):
+        from repro.learning.tree import RegressionTree
+        with pytest.raises(ValueError):
+            tree_to_dict(RegressionTree())
+
+
+class TestMartRoundTrip:
+    def test_predictions_identical(self, fitted_mart):
+        model, X = fitted_mart
+        clone = mart_from_dict(mart_to_dict(model))
+        assert np.allclose(clone.predict(X), model.predict(X))
+
+    def test_payload_is_json_safe(self, fitted_mart):
+        model, _ = fitted_mart
+        text = json.dumps(mart_to_dict(model))
+        assert "trees" in text
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            mart_to_dict(MARTRegressor(FAST))
+
+    def test_bad_version_rejected(self, fitted_mart):
+        model, _ = fitted_mart
+        payload = mart_to_dict(model)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError):
+            mart_from_dict(payload)
+
+
+class TestSelectorRoundTrip:
+    def test_choices_identical(self, fitted_selector):
+        selector, X = fitted_selector
+        clone = selector_from_dict(selector_to_dict(selector))
+        assert clone.select(X) == selector.select(X)
+        assert np.allclose(clone.predict_errors(X),
+                           selector.predict_errors(X))
+
+    def test_file_round_trip(self, fitted_selector, tmp_path):
+        selector, X = fitted_selector
+        path = save_selector(selector, tmp_path / "selector.json")
+        clone = load_selector(path)
+        assert clone.estimator_names == selector.estimator_names
+        assert clone.select(X) == selector.select(X)
+
+    def test_unfitted_selector_rejected(self):
+        with pytest.raises(ValueError):
+            selector_to_dict(EstimatorSelector(["a"], FAST))
+
+    def test_bad_version_rejected(self, fitted_selector):
+        selector, _ = fitted_selector
+        payload = selector_to_dict(selector)
+        payload["format_version"] = 0
+        with pytest.raises(ValueError):
+            selector_from_dict(payload)

@@ -1,0 +1,99 @@
+"""Tests for the best-first regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.learning.binning import QuantileBinner
+from repro.learning.tree import RegressionTree, TreeParams
+
+
+def binned(X, max_bins=32):
+    binner = QuantileBinner(max_bins).fit(X)
+    return binner.transform(X), binner.total_bins
+
+
+class TestTreeParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeParams(max_leaves=1)
+        with pytest.raises(ValueError):
+            TreeParams(min_samples_leaf=0)
+
+
+class TestRegressionTree:
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict_binned(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2), dtype=np.uint8),
+                                 np.zeros(0), 8)
+
+    def test_constant_target_single_leaf(self, rng):
+        X = rng.normal(size=(100, 3))
+        Xb, n_bins = binned(X)
+        tree = RegressionTree().fit(Xb, np.full(100, 5.0), n_bins)
+        assert tree.n_leaves == 1
+        assert np.allclose(tree.predict_binned(Xb), 5.0)
+
+    def test_perfect_binary_split(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = np.where(X[:, 0] > 0, 10.0, -10.0)
+        Xb, n_bins = binned(X)
+        tree = RegressionTree(TreeParams(max_leaves=2, min_samples_leaf=1))
+        tree.fit(Xb, y, n_bins)
+        pred = tree.predict_binned(Xb)
+        assert np.abs(pred - y).mean() < 1.0
+
+    def test_leaf_budget_respected(self, rng):
+        X = rng.normal(size=(500, 5))
+        y = rng.normal(size=500)
+        Xb, n_bins = binned(X)
+        for budget in (2, 5, 30):
+            tree = RegressionTree(TreeParams(max_leaves=budget,
+                                             min_samples_leaf=1))
+            tree.fit(Xb, y, n_bins)
+            assert 1 <= tree.n_leaves <= budget
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        Xb, n_bins = binned(X)
+        tree = RegressionTree(TreeParams(max_leaves=30, min_samples_leaf=20))
+        tree.fit(Xb, y, n_bins)
+        # Count samples per leaf via prediction grouping.
+        pred = tree.predict_binned(Xb)
+        _, counts = np.unique(pred, return_counts=True)
+        assert counts.min() >= 20
+
+    def test_more_leaves_never_hurt_training_error(self, rng):
+        X = rng.normal(size=(400, 4))
+        y = np.sin(X[:, 0] * 2) + 0.5 * X[:, 1]
+        Xb, n_bins = binned(X)
+        errors = []
+        for leaves in (2, 8, 30):
+            tree = RegressionTree(TreeParams(max_leaves=leaves,
+                                             min_samples_leaf=2))
+            tree.fit(Xb, y, n_bins)
+            errors.append(np.mean((tree.predict_binned(Xb) - y) ** 2))
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_prediction_is_leaf_mean(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = rng.normal(size=200)
+        Xb, n_bins = binned(X)
+        tree = RegressionTree(TreeParams(max_leaves=4, min_samples_leaf=5))
+        tree.fit(Xb, y, n_bins)
+        pred = tree.predict_binned(Xb)
+        for value in np.unique(pred):
+            group = pred == value
+            assert y[group].mean() == pytest.approx(value)
+
+    def test_unseen_bins_route_somewhere(self, rng):
+        X = rng.uniform(0, 1, size=(100, 2))
+        y = X[:, 0]
+        Xb, n_bins = binned(X)
+        tree = RegressionTree().fit(Xb, y, n_bins)
+        extreme = np.full((3, 2), n_bins - 1, dtype=np.uint8)
+        assert tree.predict_binned(extreme).shape == (3,)

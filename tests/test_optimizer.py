@@ -1,0 +1,180 @@
+"""Tests for cardinality estimation, physical design and the planner."""
+
+import numpy as np
+import pytest
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.physical_design import (
+    DesignLevel,
+    apply_design,
+    candidate_columns,
+    design_for_workload,
+)
+from repro.optimizer.planner import Planner, PlannerConfig
+from repro.plan.nodes import Op
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+from repro.workloads.tpch_queries import generate_tpch_workload
+
+
+@pytest.fixture(scope="module")
+def card(tpch_db, tpch_stats):
+    return CardinalityEstimator(tpch_stats)
+
+
+class TestCardinalityEstimator:
+    def test_range_selectivity_sane(self, card):
+        spec = FilterSpec("lineitem", "l_shipdate", "<=", 10**9)
+        assert card.filter_selectivity(spec) == pytest.approx(1.0, abs=0.01)
+
+    def test_conjunction_multiplies(self, card):
+        a = FilterSpec("lineitem", "l_quantity", ">=", 10.0)
+        b = FilterSpec("lineitem", "l_discount", "<=", 0.05)
+        combined = card.conjunction_selectivity([a, b])
+        product = card.filter_selectivity(a) * card.filter_selectivity(b)
+        assert combined == pytest.approx(product)
+
+    def test_fk_join_preserves_fact_cardinality(self, card, tpch_db):
+        n_li = tpch_db.table("lineitem").n_rows
+        n_orders = tpch_db.table("orders").n_rows
+        est = card.join_cardinality(n_li, n_orders,
+                                    card.ndv("lineitem", "l_orderkey"),
+                                    card.ndv("orders", "o_orderkey"))
+        assert est == pytest.approx(n_li, rel=0.2)
+
+    def test_seek_fanout(self, card, tpch_db):
+        fanout = card.seek_fanout("lineitem", "l_orderkey")
+        distinct = len(np.unique(tpch_db.table("lineitem").column("l_orderkey")))
+        expected = tpch_db.table("lineitem").n_rows / distinct
+        assert fanout == pytest.approx(expected, rel=0.05)
+
+    def test_group_count_bounded(self, card):
+        assert card.group_count(1000, [5]) <= 5
+        assert card.group_count(2, [1000]) <= 2
+        assert card.group_count(0, [10]) == 0
+        assert card.group_count(1000, []) == 1.0
+
+    def test_group_count_saturates(self, card):
+        low = card.group_count(10, [100])
+        high = card.group_count(10_000, [100])
+        assert low < high <= 100
+
+
+class TestPhysicalDesign:
+    @pytest.fixture(scope="class")
+    def queries(self):
+        return generate_tpch_workload(30, seed=1)
+
+    def test_candidates_cover_join_columns(self, queries):
+        usage = candidate_columns(queries)
+        assert usage[("lineitem", "l_orderkey")] > 0
+
+    def test_untuned_is_empty(self, tpch_db, queries):
+        design = design_for_workload(tpch_db, queries, DesignLevel.UNTUNED)
+        assert design.n_indexes() == 0
+
+    def test_partial_smaller_than_full(self, tpch_db, queries):
+        partial = design_for_workload(tpch_db, queries, DesignLevel.PARTIAL)
+        full = design_for_workload(tpch_db, queries, DesignLevel.FULL)
+        assert 0 < partial.n_indexes() < full.n_indexes()
+
+    def test_partial_subset_of_full(self, tpch_db, queries):
+        partial = design_for_workload(tpch_db, queries, DesignLevel.PARTIAL)
+        full = design_for_workload(tpch_db, queries, DesignLevel.FULL)
+        for table, cols in partial.indexes.items():
+            assert cols <= full.columns_for(table)
+
+    def test_apply_design_installs_and_clears(self, tpch_db, queries):
+        full = design_for_workload(tpch_db, queries, DesignLevel.FULL)
+        apply_design(tpch_db, full)
+        assert any(t.indexes for t in tpch_db.tables.values())
+        apply_design(tpch_db, design_for_workload(tpch_db, queries,
+                                                  DesignLevel.UNTUNED))
+        assert all(not t.indexes for t in tpch_db.tables.values())
+
+
+class TestPlanner:
+    def test_single_table_scan_plan(self, tpch_planner):
+        q = QuerySpec(name="q", tables=["orders"])
+        plan = tpch_planner.plan(q)
+        assert plan.op in (Op.INDEX_SCAN, Op.TABLE_SCAN)
+        assert plan.est_rows > 0
+
+    def test_selective_filter_uses_seek_when_indexed(self, tpch_db, tpch_stats):
+        tpch_db.table("orders").create_index("o_orderdate")
+        try:
+            planner = Planner(tpch_db, tpch_stats)
+            q = QuerySpec(name="q", tables=["orders"],
+                          filters=[FilterSpec("orders", "o_orderdate",
+                                              "between", (10, 20))])
+            plan = planner.plan(q)
+            assert plan.find_all(Op.INDEX_SEEK)
+        finally:
+            tpch_db.table("orders").drop_index("o_orderdate")
+
+    def test_unselective_filter_scans(self, tpch_planner):
+        q = QuerySpec(name="q", tables=["orders"],
+                      filters=[FilterSpec("orders", "o_orderdate", ">=", 0)])
+        plan = tpch_planner.plan(q)
+        assert not plan.find_all(Op.INDEX_SEEK)
+        assert plan.find_all(Op.FILTER)
+
+    def test_clustered_fk_pk_join_uses_merge(self, tpch_planner):
+        q = QuerySpec(
+            name="q", tables=["orders", "lineitem"],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")])
+        plan = tpch_planner.plan(q)
+        assert plan.find_all(Op.MERGE_JOIN)
+
+    def test_group_by_on_unsorted_column_uses_hash_agg(self, tpch_planner):
+        q = QuerySpec(name="q", tables=["orders"], group_by=["o_orderstatus"],
+                      aggregates=[Aggregate("count")])
+        plan = tpch_planner.plan(q)
+        assert plan.find_all(Op.HASH_AGG)
+
+    def test_scalar_aggregate_uses_stream_agg(self, tpch_planner):
+        q = QuerySpec(name="q", tables=["orders"],
+                      aggregates=[Aggregate("sum", "o_totalprice")])
+        plan = tpch_planner.plan(q)
+        aggs = plan.find_all(Op.STREAM_AGG)
+        assert aggs and aggs[0].params["group_cols"] == []
+
+    def test_order_by_adds_sort_and_top(self, tpch_planner):
+        q = QuerySpec(name="q", tables=["orders"], order_by=["o_totalprice"],
+                      top=5)
+        plan = tpch_planner.plan(q)
+        assert plan.op == Op.TOP
+        assert plan.children[0].op == Op.SORT
+
+    def test_order_by_clustered_column_skips_sort(self, tpch_planner):
+        q = QuerySpec(name="q", tables=["orders"], order_by=["o_orderkey"])
+        plan = tpch_planner.plan(q)
+        assert not plan.find_all(Op.SORT)
+
+    def test_every_node_has_estimates(self, tpch_planner, join_query):
+        plan = tpch_planner.plan(join_query)
+        for node in plan.walk():
+            assert node.est_rows > 0
+            assert node.est_row_width > 0
+
+    def test_nlj_gets_batch_sort_for_large_outer(self, tpch_db, tpch_stats):
+        tpch_db.table("lineitem").create_index("l_orderkey")
+        try:
+            config = PlannerConfig(batch_sort_min_outer=100.0,
+                                   cost_seek_probe=0.1)
+            planner = Planner(tpch_db, tpch_stats, config)
+            q = QuerySpec(
+                name="q", tables=["orders", "lineitem"],
+                joins=[JoinEdge("orders", "o_orderkey", "lineitem",
+                                "l_orderkey")],
+                filters=[FilterSpec("orders", "o_totalprice", ">=", 100.0)])
+            plan = planner.plan(q)
+            if plan.find_all(Op.NESTED_LOOP_JOIN):
+                assert plan.find_all(Op.BATCH_SORT)
+        finally:
+            tpch_db.table("lineitem").drop_index("l_orderkey")
+
+    def test_plans_are_finalized(self, tpch_planner, join_query):
+        plan = tpch_planner.plan(join_query)
+        ids = [n.node_id for n in plan.walk()]
+        assert ids == list(range(len(ids)))

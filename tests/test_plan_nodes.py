@@ -1,0 +1,72 @@
+"""Unit tests for plan nodes and traversal."""
+
+import pytest
+
+from repro.plan.nodes import Op, PlanNode
+
+
+def small_plan():
+    scan1 = PlanNode(Op.INDEX_SCAN, table="orders")
+    scan2 = PlanNode(Op.INDEX_SCAN, table="lineitem")
+    filt = PlanNode(Op.FILTER, [scan2], predicates=[])
+    join = PlanNode(Op.HASH_JOIN, [scan1, filt], probe_key="a", build_key="b")
+    agg = PlanNode(Op.HASH_AGG, [join], group_cols=["g"], aggs=[])
+    return agg, (scan1, scan2, filt, join)
+
+
+class TestPlanNode:
+    def test_finalize_assigns_preorder_ids(self):
+        root, (scan1, scan2, filt, join) = small_plan()
+        root.finalize()
+        assert root.node_id == 0
+        assert join.node_id == 1
+        assert scan1.node_id == 2
+        assert filt.node_id == 3
+        assert scan2.node_id == 4
+
+    def test_walk_counts_nodes(self):
+        root, _ = small_plan()
+        assert root.n_nodes == 5
+
+    def test_descendants_excludes_self(self):
+        root, _ = small_plan()
+        ids = [n.op for n in root.descendants()]
+        assert Op.HASH_AGG not in ids
+        assert len(ids) == 4
+
+    def test_find_all(self):
+        root, _ = small_plan()
+        assert len(root.find_all(Op.INDEX_SCAN)) == 2
+        assert len(root.find_all(Op.SORT)) == 0
+
+    def test_outer_inner_accessors(self):
+        root, (scan1, scan2, filt, join) = small_plan()
+        assert join.outer is scan1
+        assert join.inner is filt
+
+    def test_inner_requires_two_children(self):
+        node = PlanNode(Op.FILTER, [PlanNode(Op.INDEX_SCAN, table="t")])
+        with pytest.raises(ValueError):
+            _ = node.inner
+
+    def test_outer_requires_children(self):
+        with pytest.raises(ValueError):
+            _ = PlanNode(Op.INDEX_SCAN, table="t").outer
+
+    def test_table_accessor(self):
+        root, (scan1, *_rest) = small_plan()
+        assert scan1.table == "orders"
+        assert root.table is None
+
+    def test_pretty_contains_ops_and_ids(self):
+        root, _ = small_plan()
+        root.finalize()
+        text = root.pretty()
+        assert "hash_agg" in text
+        assert "orders" in text
+        assert "[id=0" in text
+
+    def test_repr(self):
+        root, _ = small_plan()
+        root.finalize()
+        assert "hash_agg" in repr(root)

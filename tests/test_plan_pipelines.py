@@ -1,0 +1,110 @@
+"""Unit tests for pipeline decomposition and driver-node rules (§3.2)."""
+
+import pytest
+
+from repro.plan.nodes import Op, PlanNode
+from repro.plan.pipelines import decompose_pipelines, node_to_pipeline
+
+
+def scan(table="t"):
+    return PlanNode(Op.INDEX_SCAN, table=table)
+
+
+def test_requires_finalized_plan():
+    with pytest.raises(ValueError, match="finalized"):
+        decompose_pipelines(scan())
+
+
+class TestSimpleShapes:
+    def test_scan_filter_is_one_pipeline(self):
+        root = PlanNode(Op.FILTER, [scan()], predicates=[]).finalize()
+        pipes = decompose_pipelines(root)
+        assert len(pipes) == 1
+        assert [n.op for n in pipes[0].driver_nodes] == [Op.INDEX_SCAN]
+
+    def test_sort_splits_two_pipelines(self):
+        root = PlanNode(Op.SORT, [scan()], keys=["k"]).finalize()
+        pipes = decompose_pipelines(root)
+        assert len(pipes) == 2
+        # build pipeline first (the scan), then the sort-output pipeline
+        assert pipes[0].nodes[0].op == Op.INDEX_SCAN
+        assert pipes[1].nodes[0].op == Op.SORT
+        assert pipes[1].driver_nodes[0].op == Op.SORT
+
+    def test_hash_agg_splits_like_sort(self):
+        root = PlanNode(Op.HASH_AGG, [scan()], group_cols=["g"],
+                        aggs=[]).finalize()
+        pipes = decompose_pipelines(root)
+        assert len(pipes) == 2
+        assert pipes[1].driver_nodes[0].op == Op.HASH_AGG
+
+    def test_stream_agg_stays_in_pipeline(self):
+        root = PlanNode(Op.STREAM_AGG, [scan()], group_cols=[],
+                        aggs=[]).finalize()
+        assert len(decompose_pipelines(root)) == 1
+
+    def test_batch_sort_stays_in_pipeline(self):
+        root = PlanNode(Op.BATCH_SORT, [scan()], keys=["k"]).finalize()
+        pipes = decompose_pipelines(root)
+        assert len(pipes) == 1
+        # batch sort is NOT a driver (only BATCHDNE treats it as one)
+        assert [n.op for n in pipes[0].driver_nodes] == [Op.INDEX_SCAN]
+
+
+class TestJoins:
+    def test_hash_join_build_pipeline_runs_first(self):
+        probe, build = scan("probe"), scan("build")
+        root = PlanNode(Op.HASH_JOIN, [probe, build],
+                        probe_key="a", build_key="b").finalize()
+        pipes = decompose_pipelines(root)
+        assert len(pipes) == 2
+        assert pipes[0].nodes[0].table == "build"
+        assert {n.op for n in pipes[1].nodes} == {Op.HASH_JOIN, Op.INDEX_SCAN}
+        assert pipes[1].driver_nodes[0].table == "probe"
+
+    def test_merge_join_both_sides_drive(self):
+        root = PlanNode(Op.MERGE_JOIN, [scan("l"), scan("r")],
+                        outer_key="a", inner_key="b").finalize()
+        pipes = decompose_pipelines(root)
+        assert len(pipes) == 1
+        assert {n.table for n in pipes[0].driver_nodes} == {"l", "r"}
+
+    def test_nlj_inner_not_a_driver(self):
+        seek = PlanNode(Op.INDEX_SEEK, table="inner", column="k")
+        root = PlanNode(Op.NESTED_LOOP_JOIN, [scan("outer"), seek],
+                        outer_key="k").finalize()
+        pipes = decompose_pipelines(root)
+        assert len(pipes) == 1
+        assert [n.table for n in pipes[0].driver_nodes] == ["outer"]
+        assert seek in pipes[0].nodes
+
+    def test_nested_blocking_order(self):
+        """sort(HJ(probe=HJ2(p2, b2), build=b1)) orders builds before probes."""
+        b1, b2, p2 = scan("b1"), scan("b2"), scan("p2")
+        hj2 = PlanNode(Op.HASH_JOIN, [p2, b2], probe_key="x", build_key="y")
+        hj1 = PlanNode(Op.HASH_JOIN, [hj2, b1], probe_key="x", build_key="y")
+        root = PlanNode(Op.SORT, [hj1], keys=["k"]).finalize()
+        pipes = decompose_pipelines(root)
+        tables = [pipes[i].nodes[0].table or pipes[i].nodes[0].op
+                  for i in range(len(pipes))]
+        assert len(pipes) == 4
+        assert pipes[0].nodes[0].table == "b1"      # hj1's build opens first
+        assert pipes[1].nodes[0].table == "b2"      # then hj2's build
+        assert pipes[2].nodes[0].op == Op.HASH_JOIN  # probe pipeline
+        assert pipes[3].nodes[0].op == Op.SORT       # sort output last
+
+
+class TestNodeToPipeline:
+    def test_every_node_assigned_once(self):
+        probe, build = scan("p"), scan("b")
+        join = PlanNode(Op.HASH_JOIN, [probe, build], probe_key="a",
+                        build_key="b")
+        root = PlanNode(Op.SORT, [join], keys=["k"]).finalize()
+        pipes = decompose_pipelines(root)
+        mapping = node_to_pipeline(pipes)
+        assert set(mapping) == {n.node_id for n in root.walk()}
+
+    def test_pids_are_dense(self):
+        root = PlanNode(Op.SORT, [scan()], keys=["k"]).finalize()
+        pipes = decompose_pipelines(root)
+        assert [p.pid for p in pipes] == [0, 1]

@@ -1,0 +1,79 @@
+"""Tests for estimator base helpers and the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan.nodes import Op
+from repro.progress.base import clip_progress, driver_consumed, safe_divide
+from repro.progress.registry import (
+    all_estimators,
+    estimator_by_name,
+    novel_estimators,
+    original_estimators,
+    worst_case_estimators,
+)
+
+from helpers import make_pipeline_run
+
+
+class TestHelpers:
+    def test_clip_progress(self):
+        out = clip_progress(np.array([-0.5, 0.3, 1.7]))
+        assert out.tolist() == [0.0, 0.3, 1.0]
+
+    def test_safe_divide_by_zero(self):
+        out = safe_divide(np.array([1.0, 2.0]), 0.0)
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_safe_divide_elementwise(self):
+        out = safe_divide(np.array([1.0, 4.0]), np.array([2.0, 0.0]))
+        assert out.tolist() == [0.5, 0.0]
+
+    def test_driver_consumed_with_extra_mask(self):
+        K = np.array([[0.0, 0.0], [5.0, 10.0]])
+        pr = make_pipeline_run([Op.FILTER, Op.INDEX_SCAN], K,
+                               parents=[-1, 0], drivers=[1],
+                               N=np.array([5.0, 10.0]),
+                               table_rows=np.array([np.nan, 10.0]))
+        consumed, total = driver_consumed(pr)
+        assert total == 10.0
+        assert consumed.tolist() == [0.0, 10.0]
+        extra = np.array([True, False])
+        consumed2, total2 = driver_consumed(pr, extra_mask=extra)
+        assert total2 == 15.0
+        assert consumed2.tolist() == [0.0, 15.0]
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=20),
+           st.one_of(st.just(0.0), st.floats(1e-9, 1e6)))
+    @settings(max_examples=40)
+    def test_safe_divide_never_nan(self, nums, denom):
+        out = safe_divide(np.asarray(nums), denom)
+        assert np.isfinite(out).all()
+
+
+class TestRegistry:
+    def test_original_three(self):
+        assert [e.name for e in original_estimators()] == ["dne", "tgn", "luo"]
+
+    def test_novel_three(self):
+        assert [e.name for e in novel_estimators()] == \
+            ["batch_dne", "dne_seek", "tgn_int"]
+
+    def test_worst_case_two(self):
+        assert [e.name for e in worst_case_estimators()] == ["pmax", "safe"]
+
+    def test_all_estimators_composition(self):
+        assert len(all_estimators()) == 6
+        assert len(all_estimators(include_worst_case=True)) == 8
+
+    def test_estimator_by_name(self):
+        assert estimator_by_name("tgn_int").name == "tgn_int"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            estimator_by_name("perfect_estimator")
+
+    def test_fresh_instances(self):
+        assert all_estimators()[0] is not all_estimators()[0]

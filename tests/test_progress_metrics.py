@@ -1,0 +1,106 @@
+"""Tests for error metrics and §6.6 tolerance rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.progress.metrics import (
+    error_matrix,
+    evaluate_pipeline,
+    l1_error,
+    l2_error,
+    near_optimal_mask,
+    ratio_error,
+    significantly_outperforms,
+)
+from repro.progress.registry import original_estimators
+
+
+class TestBasicMetrics:
+    def test_l1_zero_on_exact(self):
+        x = np.linspace(0, 1, 10)
+        assert l1_error(x, x) == 0.0
+
+    def test_l1_constant_offset(self):
+        truth = np.linspace(0, 1, 10)
+        assert l1_error(truth + 0.1, truth) == pytest.approx(0.1)
+
+    def test_l2_penalizes_outliers_more(self):
+        truth = np.zeros(10)
+        spread = np.full(10, 0.1)
+        spiky = np.zeros(10)
+        spiky[0] = 1.0
+        assert l1_error(spread, truth) == pytest.approx(l1_error(spiky, truth))
+        assert l2_error(spiky, truth) > l2_error(spread, truth)
+
+    def test_ratio_error_symmetric(self):
+        a = np.array([0.5])
+        b = np.array([0.25])
+        assert ratio_error(a, b) == pytest.approx(ratio_error(b, a))
+
+    def test_empty_inputs(self):
+        empty = np.empty(0)
+        assert l1_error(empty, empty) == 0.0
+        assert l2_error(empty, empty) == 0.0
+        assert ratio_error(empty, empty) == 1.0
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=50),
+           st.lists(st.floats(0, 1), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_l1_le_l2(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a, b = np.asarray(xs[:n]), np.asarray(ys[:n])
+        assert l1_error(a, b) <= l2_error(a, b) + 1e-12
+
+
+class TestNearOptimal:
+    def test_minimum_is_always_near_optimal(self):
+        errors = np.array([[0.3, 0.1, 0.5]])
+        mask = near_optimal_mask(errors)
+        assert mask[0].tolist() == [False, True, False]
+
+    def test_absolute_tolerance(self):
+        errors = np.array([[0.105, 0.1, 0.5]])
+        assert near_optimal_mask(errors)[0].tolist() == [True, True, False]
+
+    def test_relative_tolerance(self):
+        errors = np.array([[0.505, 0.5, 0.6]])
+        assert near_optimal_mask(errors)[0].tolist() == [True, True, False]
+
+    def test_multiple_rows(self):
+        errors = np.array([[0.1, 0.2], [0.2, 0.1]])
+        mask = near_optimal_mask(errors)
+        assert mask[0, 0] and mask[1, 1]
+
+
+class TestSignificantlyOutperforms:
+    def test_clear_winner(self):
+        errors = np.array([[0.05, 0.3, 0.4]])
+        assert significantly_outperforms(errors)[0] == 0
+
+    def test_near_tie_is_nobody(self):
+        errors = np.array([[0.100, 0.105, 0.4]])
+        assert significantly_outperforms(errors)[0] == -1
+
+    def test_per_row_results(self):
+        errors = np.array([[0.05, 0.5], [0.5, 0.05]])
+        assert significantly_outperforms(errors).tolist() == [0, 1]
+
+
+class TestPipelineEvaluation:
+    def test_evaluate_pipeline_reports_all(self, pipeline_runs):
+        reports = evaluate_pipeline(pipeline_runs[0], original_estimators())
+        assert [r.estimator for r in reports] == ["dne", "tgn", "luo"]
+        for report in reports:
+            assert report.l1 >= 0 and report.l2 >= report.l1 - 1e-12
+            assert report.ratio >= 1.0
+
+    def test_error_matrix_shape(self, pipeline_runs):
+        matrix = error_matrix(pipeline_runs, original_estimators(), "l1")
+        assert matrix.shape == (len(pipeline_runs), 3)
+        assert (matrix >= 0).all()
+
+    def test_error_matrix_rejects_unknown_metric(self, pipeline_runs):
+        with pytest.raises(ValueError):
+            error_matrix(pipeline_runs, original_estimators(), "l7")

@@ -1,0 +1,74 @@
+"""Property-based tests: estimators on randomized synthetic trajectories.
+
+Hypothesis generates arbitrary monotone counter trajectories for a small
+operator zoo; every estimator must stay within [0, 1], never produce
+NaN/inf, and remain causal.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan.nodes import Op
+from repro.progress.registry import all_estimators
+
+from helpers import make_pipeline_run, truncate_run
+
+ESTIMATORS = all_estimators(include_worst_case=True)
+
+
+@st.composite
+def random_pipeline(draw):
+    n_obs = draw(st.integers(3, 25))
+    shapes = draw(st.sampled_from([
+        ([Op.FILTER, Op.INDEX_SCAN], [-1, 0], [1]),
+        ([Op.NESTED_LOOP_JOIN, Op.INDEX_SCAN, Op.INDEX_SEEK],
+         [-1, 0, 0], [1]),
+        ([Op.HASH_JOIN, Op.BATCH_SORT, Op.INDEX_SCAN], [-1, 0, 1], [2]),
+        ([Op.STREAM_AGG, Op.MERGE_JOIN, Op.INDEX_SCAN, Op.INDEX_SCAN],
+         [-1, 0, 1, 1], [2, 3]),
+    ]))
+    ops, parents, drivers = shapes
+    m = len(ops)
+    totals = np.array([draw(st.floats(1.0, 1e5)) for _ in range(m)])
+    # random monotone trajectories from 0 to the totals
+    fractions = np.sort(np.array(
+        [[draw(st.floats(0.0, 1.0)) for _ in range(m)]
+         for _ in range(n_obs)]), axis=0)
+    fractions[0] = 0.0
+    fractions[-1] = 1.0
+    K = fractions * totals
+    e0 = totals * np.array([draw(st.floats(0.1, 10.0)) for _ in range(m)])
+    times = np.cumsum(np.array([draw(st.floats(0.01, 10.0))
+                                for _ in range(n_obs)]))
+    return make_pipeline_run(ops, K, parents=parents, drivers=drivers,
+                             E0=e0, times=times)
+
+
+@given(random_pipeline())
+@settings(max_examples=40, deadline=None)
+def test_all_estimators_bounded_and_finite(pr):
+    for estimator in ESTIMATORS:
+        values = estimator.estimate(pr)
+        assert values.shape == (pr.n_observations,), estimator.name
+        assert np.isfinite(values).all(), estimator.name
+        assert ((0.0 <= values) & (values <= 1.0)).all(), estimator.name
+
+
+@given(random_pipeline(), st.integers(1, 10))
+@settings(max_examples=25, deadline=None)
+def test_all_estimators_causal(pr, cut_offset):
+    cut = min(cut_offset, pr.n_observations - 1)
+    prefix_run = truncate_run(pr, cut)
+    for estimator in ESTIMATORS:
+        full = estimator.estimate(pr)
+        prefix = estimator.estimate(prefix_run)
+        assert np.allclose(prefix, full[:cut + 1], atol=1e-9), estimator.name
+
+
+@given(random_pipeline())
+@settings(max_examples=25, deadline=None)
+def test_driver_fraction_properties(pr):
+    fraction = pr.driver_fraction()
+    assert ((0.0 <= fraction) & (fraction <= 1.0)).all()
+    assert (np.diff(fraction) >= -1e-12).all()

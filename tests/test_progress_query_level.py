@@ -1,0 +1,94 @@
+"""Tests for query-level progress combination (eq. 5) and TGNREF."""
+
+import numpy as np
+import pytest
+
+from repro.progress.dne import DNEEstimator
+from repro.progress.gold import GetNextOracle
+from repro.progress.query_level import (
+    pipeline_weights,
+    query_level_error,
+    query_progress,
+    uniform_assignment,
+)
+from repro.progress.refined_tgn import RefinedTGNEstimator
+from repro.progress.registry import estimator_by_name, extension_estimators
+
+from helpers import truncate_run
+
+
+class TestPipelineWeights:
+    def test_weights_sum_to_one(self, join_run):
+        weights = pipeline_weights(join_run)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0 for w in weights.values())
+
+    def test_every_pipeline_weighted(self, join_run):
+        weights = pipeline_weights(join_run)
+        assert set(weights) == {p.pid for p in join_run.pipelines}
+
+
+class TestQueryProgress:
+    def test_bounds_and_endpoints(self, join_run):
+        assignment = uniform_assignment(join_run, DNEEstimator())
+        progress = query_progress(join_run, assignment)
+        assert progress.shape == join_run.times.shape
+        assert ((0 <= progress) & (progress <= 1)).all()
+        assert progress[0] <= 0.05
+        assert progress[-1] >= 0.95
+
+    def test_roughly_monotone(self, join_run):
+        assignment = uniform_assignment(join_run, DNEEstimator())
+        progress = query_progress(join_run, assignment)
+        # small dips can happen at pipeline handoffs; no large regressions
+        assert (np.diff(progress) > -0.1).all()
+
+    def test_oracle_assignment_tracks_truth(self, join_run):
+        assignment = uniform_assignment(join_run, GetNextOracle())
+        error = query_level_error(join_run, assignment)
+        assert error < 0.25
+
+    def test_missing_assignment_falls_back(self, join_run):
+        progress = query_progress(join_run, {})
+        assert progress[-1] >= 0.95
+
+    def test_error_norms(self, join_run):
+        assignment = uniform_assignment(join_run, DNEEstimator())
+        l1 = query_level_error(join_run, assignment, norm=1)
+        l2 = query_level_error(join_run, assignment, norm=2)
+        assert 0 <= l1 <= l2 + 1e-12
+        with pytest.raises(ValueError):
+            query_level_error(join_run, assignment, norm=3)
+
+    def test_mixed_assignment_differs_from_uniform(self, join_run):
+        """Different per-pipeline estimators change the trajectory."""
+        dne = uniform_assignment(join_run, DNEEstimator())
+        mixed = dict(dne)
+        scored = [p.pid for p in join_run.pipelines
+                  if join_run.pipeline_run(p.pid, 3) is not None]
+        if len(scored) >= 1:
+            mixed[scored[-1]] = estimator_by_name("tgn")
+        a = query_progress(join_run, dne)
+        b = query_progress(join_run, mixed)
+        assert a.shape == b.shape
+
+
+class TestRefinedTGN:
+    def test_registered_as_extension(self):
+        assert any(e.name == "tgn_ref" for e in extension_estimators())
+        assert estimator_by_name("tgn_ref").name == "tgn_ref"
+
+    def test_bounded_and_causal(self, pipeline_runs):
+        est = RefinedTGNEstimator()
+        for pr in pipeline_runs:
+            values = est.estimate(pr)
+            assert ((0 <= values) & (values <= 1)).all()
+        pr = pipeline_runs[0]
+        cut = pr.n_observations // 2
+        assert np.allclose(est.estimate(truncate_run(pr, cut)),
+                           est.estimate(pr)[:cut + 1])
+
+    def test_converges_to_completion(self, pipeline_runs):
+        est = RefinedTGNEstimator()
+        for pr in pipeline_runs:
+            assert est.estimate(pr)[-1] >= 0.95

@@ -1,0 +1,46 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_components(self):
+        db, planner, executor = repro.quickstart_components(
+            lineitem_rows=1000, z=0.5, seed=1)
+        assert db.table("lineitem").n_rows == 1000
+        assert planner.db is db
+        assert executor.db is db
+
+    @pytest.mark.parametrize("module", [
+        "repro.catalog", "repro.datagen", "repro.query", "repro.plan",
+        "repro.engine", "repro.optimizer", "repro.progress",
+        "repro.features", "repro.learning", "repro.core",
+        "repro.workloads", "repro.experiments",
+    ])
+    def test_subpackages_importable(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} lacks a package docstring"
+
+    @pytest.mark.parametrize("module", [
+        "repro.catalog", "repro.engine", "repro.progress", "repro.core",
+        "repro.learning", "repro.features", "repro.workloads",
+    ])
+    def test_subpackage_all_resolvable(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_estimator_pool_exported(self):
+        assert len(repro.all_estimators()) == 6
+        assert len(repro.original_estimators()) == 3

@@ -1,0 +1,97 @@
+"""Unit tests for the logical query DSL."""
+
+import pytest
+
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+
+
+def two_table_query(**kwargs):
+    defaults = dict(
+        name="q",
+        tables=["orders", "lineitem"],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+    )
+    defaults.update(kwargs)
+    return QuerySpec(**defaults)
+
+
+class TestJoinEdge:
+    def test_touches_and_other(self):
+        edge = JoinEdge("a", "x", "b", "y")
+        assert edge.touches("a") and edge.touches("b")
+        assert not edge.touches("c")
+        assert edge.other("a") == "b"
+        assert edge.column_for("b") == "y"
+
+    def test_other_rejects_foreign_table(self):
+        with pytest.raises(ValueError):
+            JoinEdge("a", "x", "b", "y").other("c")
+
+
+class TestAggregate:
+    def test_output_names(self):
+        assert Aggregate("sum", "l_quantity").output_name == "sum_l_quantity"
+        assert Aggregate("count").output_name == "count_star"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate("median", "x")
+
+    def test_non_count_requires_column(self):
+        with pytest.raises(ValueError):
+            Aggregate("sum")
+
+
+class TestQuerySpecValidation:
+    def test_valid_join_query(self):
+        q = two_table_query()
+        assert q.joins_touching("orders") == q.joins
+
+    def test_no_tables_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec(name="q", tables=[])
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            QuerySpec(name="q", tables=["orders", "orders"])
+
+    def test_join_outside_tables_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            two_table_query(joins=[JoinEdge("orders", "o", "ghost", "g")])
+
+    def test_filter_outside_tables_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            two_table_query(filters=[FilterSpec("ghost", "x", "==", 1)])
+
+    def test_group_without_aggregates_rejected(self):
+        with pytest.raises(ValueError, match="groups without"):
+            two_table_query(group_by=["o_orderdate"])
+
+    def test_nonpositive_top_rejected(self):
+        with pytest.raises(ValueError, match="TOP"):
+            two_table_query(top=0)
+
+    def test_disconnected_join_graph_rejected(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            QuerySpec(name="q", tables=["orders", "lineitem"], joins=[])
+
+    def test_filters_on(self):
+        q = two_table_query(filters=[FilterSpec("orders", "o_orderdate", "<=", 9)])
+        assert len(q.filters_on("orders")) == 1
+        assert q.filters_on("lineitem") == []
+
+    def test_describe_mentions_parts(self):
+        q = two_table_query(
+            filters=[FilterSpec("orders", "o_orderdate", "<=", 9)],
+            group_by=["o_orderstatus"],
+            aggregates=[Aggregate("count")],
+            top=5,
+        )
+        text = q.describe()
+        for fragment in ("WHERE", "GROUP BY", "TOP 5"):
+            assert fragment in text
+
+    def test_is_aggregate(self):
+        assert not two_table_query().is_aggregate
+        assert two_table_query(aggregates=[Aggregate("count")]).is_aggregate

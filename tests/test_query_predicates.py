@@ -1,0 +1,96 @@
+"""Unit tests for filter predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.predicates import FilterSpec, evaluate_all, evaluate_filter
+
+VALUES = np.array([1, 3, 5, 7, 9])
+
+
+class TestFilterSpecValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown predicate"):
+            FilterSpec("t", "c", "~=", 1)
+
+    def test_between_reversed_rejected(self):
+        with pytest.raises(ValueError, match="reversed"):
+            FilterSpec("t", "c", "between", (5, 1))
+
+    def test_in_requires_tuple(self):
+        with pytest.raises(ValueError, match="tuple"):
+            FilterSpec("t", "c", "in", [1, 2])
+
+    def test_describe(self):
+        spec = FilterSpec("orders", "o_orderdate", "<=", 10)
+        assert "orders.o_orderdate" in spec.describe()
+
+    def test_sargability(self):
+        assert FilterSpec("t", "c", "between", (1, 2)).sargable
+        assert FilterSpec("t", "c", "==", 1).sargable
+        assert not FilterSpec("t", "c", "in", (1, 2)).sargable
+        assert not FilterSpec("t", "c", "!=", 1).sargable
+
+
+class TestEvaluateFilter:
+    @pytest.mark.parametrize("op,value,expected", [
+        ("==", 5, [False, False, True, False, False]),
+        ("!=", 5, [True, True, False, True, True]),
+        ("<", 5, [True, True, False, False, False]),
+        ("<=", 5, [True, True, True, False, False]),
+        (">", 5, [False, False, False, True, True]),
+        (">=", 5, [False, False, True, True, True]),
+        ("between", (3, 7), [False, True, True, True, False]),
+        ("in", (1, 9), [True, False, False, False, True]),
+    ])
+    def test_all_operators(self, op, value, expected):
+        spec = FilterSpec("t", "c", op, value)
+        assert evaluate_filter(spec, VALUES).tolist() == expected
+
+    def test_evaluate_all_conjunction(self):
+        specs = [FilterSpec("t", "a", ">=", 3), FilterSpec("t", "b", "<", 2)]
+        data = {"a": VALUES, "b": np.array([0, 1, 2, 0, 3])}
+        assert evaluate_all(specs, data).tolist() == [False, True, False, True, False]
+
+    def test_evaluate_all_requires_specs(self):
+        with pytest.raises(ValueError):
+            evaluate_all([], {"a": VALUES})
+
+
+class TestSeekRange:
+    def test_eq(self):
+        assert FilterSpec("t", "c", "==", 5).seek_range(0, 10) == (5, 5)
+
+    def test_between(self):
+        assert FilterSpec("t", "c", "between", (2, 4)).seek_range(0, 10) == (2, 4)
+
+    def test_le_and_ge(self):
+        assert FilterSpec("t", "c", "<=", 5).seek_range(0, 10) == (0, 5)
+        assert FilterSpec("t", "c", ">=", 5).seek_range(0, 10) == (5, 10)
+
+    def test_strict_bounds_integers(self):
+        assert FilterSpec("t", "c", "<", 5).seek_range(0, 10) == (0, 4)
+        assert FilterSpec("t", "c", ">", 5).seek_range(0, 10) == (6, 10)
+
+    def test_strict_bounds_floats(self):
+        low, high = FilterSpec("t", "c", "<", 5.0).seek_range(0.0, 10.0)
+        assert high < 5.0 and high > 4.999999
+
+    def test_non_sargable_raises(self):
+        with pytest.raises(ValueError):
+            FilterSpec("t", "c", "in", (1,)).seek_range(0, 10)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=60),
+           st.sampled_from(["==", "<", "<=", ">", ">=", "between"]),
+           st.integers(-50, 50), st.integers(0, 20))
+    @settings(max_examples=80)
+    def test_seek_range_equals_filter(self, values, op, point, width):
+        """Seeking the range must select exactly the filtered rows."""
+        value = (point, point + width) if op == "between" else point
+        spec = FilterSpec("t", "c", op, value)
+        arr = np.asarray(values)
+        low, high = spec.seek_range(arr.min(), arr.max())
+        seeked = (arr >= low) & (arr <= high)
+        assert (seeked == evaluate_filter(spec, arr)).all()

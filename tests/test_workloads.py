@@ -1,0 +1,108 @@
+"""Tests for the six workload generators and the suite."""
+
+import pytest
+
+from repro.datagen.sales import generate_real1, generate_real2
+from repro.datagen.tpcds import generate_tpcds
+from repro.datagen.tpch import generate_tpch
+from repro.workloads.real1 import generate_real1_workload
+from repro.workloads.real2 import generate_real2_workload
+from repro.workloads.suite import WORKLOAD_NAMES, SuiteScale, WorkloadSuite
+from repro.workloads.tpch_queries import TEMPLATES, generate_tpch_workload
+from repro.workloads.tpcds_queries import generate_tpcds_workload
+
+
+class TestGenerators:
+    def test_tpch_workload_counts_and_names(self):
+        queries = generate_tpch_workload(40, seed=0)
+        assert len(queries) == 40
+        assert len({q.name for q in queries}) == 40
+
+    def test_tpch_templates_all_used(self):
+        queries = generate_tpch_workload(len(TEMPLATES), seed=0)
+        used = {q.name.split("_", 1)[1].rsplit("_", 1)[0] for q in queries}
+        assert len(used) == len(TEMPLATES)
+
+    def test_tpch_workload_deterministic(self):
+        a = generate_tpch_workload(10, seed=3)
+        b = generate_tpch_workload(10, seed=3)
+        assert [q.describe() for q in a] == [q.describe() for q in b]
+
+    def test_tpcds_workload_valid(self):
+        queries = generate_tpcds_workload(30, seed=1)
+        assert len(queries) == 30
+        for q in queries:
+            assert q.tables[0] in ("store_sales", "catalog_sales", "web_sales")
+
+    def test_real1_join_width(self):
+        queries = generate_real1_workload(60, seed=1)
+        widths = [len(q.tables) for q in queries]
+        assert min(widths) >= 5
+        assert max(widths) <= 8
+
+    def test_real2_join_width(self):
+        queries = generate_real2_workload(60, seed=1)
+        widths = [len(q.tables) for q in queries]
+        assert max(widths) >= 10  # "typically 12 joins"
+        assert min(widths) >= 6
+
+
+class TestPlannability:
+    """Every generated query must plan and have consistent estimates."""
+
+    @pytest.mark.parametrize("dbgen,qgen", [
+        (lambda: generate_tpch(3000, z=1.0, seed=1),
+         lambda: generate_tpch_workload(32, seed=1)),
+        (lambda: generate_tpcds(2500, seed=1),
+         lambda: generate_tpcds_workload(24, seed=1)),
+        (lambda: generate_real1(2500, seed=1),
+         lambda: generate_real1_workload(24, seed=1)),
+        (lambda: generate_real2(2500, seed=1),
+         lambda: generate_real2_workload(24, seed=1)),
+    ], ids=["tpch", "tpcds", "real1", "real2"])
+    def test_all_queries_plan(self, dbgen, qgen):
+        from repro.catalog.statistics import build_statistics
+        from repro.optimizer.planner import Planner
+        db = dbgen()
+        planner = Planner(db, build_statistics(db, n_buckets=8))
+        for query in qgen():
+            plan = planner.plan(query)
+            assert plan.n_nodes >= 1
+            for node in plan.walk():
+                assert node.est_rows > 0
+
+
+class TestWorkloadSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        scale = SuiteScale(tpch_rows=2000, tpcds_rows=1500, real1_rows=1500,
+                           real2_rows=1500, tpch_queries=8, tpcds_queries=6,
+                           real1_queries=6, real2_queries=6)
+        return WorkloadSuite(scale, seed=0)
+
+    def test_names(self, suite):
+        assert suite.names == WORKLOAD_NAMES
+
+    def test_unknown_workload_rejected(self, suite):
+        with pytest.raises(KeyError):
+            suite.bundle("mysql")
+
+    def test_bundles_cached(self, suite):
+        assert suite.bundle("tpcds") is suite.bundle("tpcds")
+
+    def test_tpch_designs_differ(self, suite):
+        untuned = suite.bundle("tpch_untuned")
+        full = suite.bundle("tpch_full")
+        assert untuned.design.n_indexes() == 0
+        assert full.design.n_indexes() > 0
+        # same logical queries, different databases/designs
+        assert [q.name for q in untuned.queries] == [q.name for q in full.queries]
+        assert untuned.db is not full.db
+
+    def test_design_applied_to_db(self, suite):
+        full = suite.bundle("tpch_full")
+        indexed = sum(len(t.indexes) for t in full.db.tables.values())
+        assert indexed == full.design.n_indexes()
+
+    def test_bundle_dbs_named_after_workload(self, suite):
+        assert suite.bundle("tpch_partial").db.name == "tpch_partial"
