@@ -1,0 +1,10 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so legacy tooling (``python setup.py develop`` on environments whose
+setuptools predates PEP 660 editable wheels) can still do an editable
+install; ``pip install -e .`` is the supported path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -9,6 +9,8 @@ The package is organized bottom-up (see DESIGN.md for the full map):
 * learning: :mod:`repro.features`, :mod:`repro.learning`;
 * the paper's contribution: :mod:`repro.core` (estimator selection and the
   online progress monitor);
+* serving: :mod:`repro.service` (concurrent multi-query progress service
+  with batched selector scoring);
 * evaluation assets: :mod:`repro.workloads`, :mod:`repro.experiments`.
 
 Quickstart
@@ -25,10 +27,11 @@ from repro.core import (
     evaluate_selection,
     train_selector,
 )
-from repro.engine import ExecutorConfig, QueryExecutor
+from repro.engine import ExecutionHandle, ExecutorConfig, QueryExecutor
 from repro.features import FeatureExtractor
 from repro.learning import MARTParams, MARTRegressor
 from repro.progress import all_estimators, original_estimators
+from repro.service import ProgressService
 
 __version__ = "1.0.0"
 
@@ -39,7 +42,9 @@ __all__ = [
     "train_selector",
     "evaluate_selection",
     "QueryExecutor",
+    "ExecutionHandle",
     "ExecutorConfig",
+    "ProgressService",
     "FeatureExtractor",
     "MARTRegressor",
     "MARTParams",

@@ -14,7 +14,12 @@
 """
 
 from repro.core.evaluate import SelectionEvaluation, evaluate_selection
-from repro.core.monitor import ProgressMonitor, ProgressReport
+from repro.core.monitor import (
+    MonitorState,
+    ProgressMonitor,
+    ProgressReport,
+    ReportDraft,
+)
 from repro.core.selection import EstimatorSelector
 from repro.core.training import (
     TrainingData,
@@ -33,4 +38,6 @@ __all__ = [
     "evaluate_selection",
     "ProgressMonitor",
     "ProgressReport",
+    "MonitorState",
+    "ReportDraft",
 ]

@@ -10,10 +10,24 @@ observation tick, produces a :class:`ProgressReport`:
 * the overall query progress as the ΣE-weighted combination of pipeline
   estimates (eq. 5).
 
-Because the executor is synchronous, reports are produced causally inside
-the observation callback (a report at time *t* only uses counters up to
-*t*) and returned as a list; a live application would render them as they
-arrive via the ``on_report`` hook.
+Report production is split into two phases so the same logic serves both
+the single-query path and the pooled multi-query service
+(:mod:`repro.service`):
+
+1. :meth:`ProgressMonitor.snapshot` runs *causally inside* the observation
+   callback: it captures everything that depends on mutable executor state
+   (time, pipeline trajectories, feature vectors for any still-unmade
+   selection) into an immutable :class:`ReportDraft`.
+2. :meth:`ProgressMonitor.finalize` turns a draft into a
+   :class:`ProgressReport`, resolving pending estimator selections through
+   a pluggable ``resolve`` callable — the solo path resolves immediately
+   per pipeline, the service batches feature vectors across all live
+   sessions and resolves with a single scoring pass per tick.
+
+Because the split captures state at observation time, a finalized report
+at time *t* only uses counters up to *t* regardless of when ``finalize``
+runs; the solo convenience :meth:`ProgressMonitor.run` finalizes in the
+callback and returns reports as a list.
 """
 
 from __future__ import annotations
@@ -26,11 +40,14 @@ import numpy as np
 from repro.catalog.table import Database
 from repro.core.selection import EstimatorSelector
 from repro.engine.executor import ExecContext, ExecutorConfig, QueryExecutor
-from repro.engine.run import PipelineRun, QueryRun
+from repro.engine.run import QueryRun
 from repro.features.vector import FeatureExtractor
-from repro.plan.nodes import Op, PlanNode
+from repro.plan.nodes import PlanNode
 from repro.progress.base import ProgressEstimator
 from repro.progress.registry import all_estimators
+
+#: selector kinds a draft may reference
+STATIC, DYNAMIC = "static", "dynamic"
 
 
 @dataclass
@@ -43,6 +60,53 @@ class ProgressReport:
     active_estimator: str | None
     pipeline_progress: dict[int, float] = field(default_factory=dict)
     pipeline_estimator: dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class MonitorState:
+    """Per-query mutable selection state (sticky choices + tick counter)."""
+
+    ticks: int = 0
+    static_choices: dict[int, str] = field(default_factory=dict)
+    dynamic_choices: dict[int, str] = field(default_factory=dict)
+    choices: dict[int, str] = field(default_factory=dict)
+    #: (pid, kind) pairs whose features were already captured in a queued
+    #: draft — suppresses duplicate extraction until the choice commits
+    requested: set[tuple[int, str]] = field(default_factory=set)
+    #: per-pipeline ΣE weights (eq. 5), fixed once the plan is finalized
+    weights: dict[int, float] | None = None
+
+
+@dataclass
+class PipeSnapshot:
+    """Causal capture of one pipeline at one observation."""
+
+    pid: int
+    weight: float
+    status: str  # "unstarted" | "done" | "short" | "running"
+    pr: object | None = None          # PipelineRun snapshot when running
+    kind: str | None = None           # selector kind applying at this tick
+    features: np.ndarray | None = None  # set iff a new selection is needed
+
+
+@dataclass
+class ReportDraft:
+    """Everything needed to produce one report, captured causally."""
+
+    time: float
+    pipes: list[PipeSnapshot]
+
+    def pending_selections(self, state: MonitorState) -> list[PipeSnapshot]:
+        """Snapshots whose estimator choice is not yet in ``state``."""
+        out = []
+        for snap in self.pipes:
+            if snap.features is None:
+                continue
+            made = (state.dynamic_choices if snap.kind == DYNAMIC
+                    else state.static_choices)
+            if snap.pid not in made:
+                out.append(snap)
+        return out
 
 
 class ProgressMonitor:
@@ -91,16 +155,13 @@ class ProgressMonitor:
             ) -> tuple[QueryRun, list[ProgressReport]]:
         """Execute ``plan`` and monitor it; returns the run and the reports."""
         reports: list[ProgressReport] = []
-        state = _MonitorState()
-        if plan.node_id < 0:
-            plan.finalize()
-        nodes = list(plan.walk())
+        state = MonitorState()
 
         def observe(ctx: ExecContext) -> None:
             state.ticks += 1
             if state.ticks % self.refresh_every:
                 return
-            report = self._report(ctx, nodes, state)
+            report = self.finalize(self.snapshot(ctx, state), state)
             reports.append(report)
             if self.on_report is not None:
                 self.on_report(report)
@@ -109,42 +170,105 @@ class ProgressMonitor:
         run = executor.execute(plan, query_name=query_name)
         return run, reports
 
-    # -- internals ----------------------------------------------------------
+    # -- phase 1: causal capture --------------------------------------------
 
-    def _report(self, ctx: ExecContext, nodes: list[PlanNode],
-                state: "_MonitorState") -> ProgressReport:
-        now = ctx.clock.now
-        total_e = sum(max(n.est_rows, 0.0) for n in nodes) or 1.0
-        weights = {}
-        for pipe in ctx.pipelines:
-            weights[pipe.pid] = sum(
-                max(n.est_rows, 0.0) for n in pipe.nodes) / total_e
-        overall = 0.0
-        pipeline_progress: dict[int, float] = {}
-        active_pid, active_name = -1, None
+    def snapshot(self, ctx: ExecContext, state: MonitorState) -> ReportDraft:
+        """Capture one observation of a live execution into a draft.
+
+        Must run inside the observation callback: everything that reads
+        mutable executor state (clock, counter log, trajectories, feature
+        vectors) is materialized here, so the draft stays valid however
+        late it is finalized.  Feature vectors are extracted only for
+        pipelines whose selection is still open in ``state`` *at this
+        tick* — callers consult :meth:`ReportDraft.pending_selections`
+        before finalizing.
+        """
+        if state.weights is None:
+            total_e = sum(max(n.est_rows, 0.0)
+                          for n in ctx.plan.walk()) or 1.0
+            state.weights = {
+                pipe.pid: sum(max(n.est_rows, 0.0)
+                              for n in pipe.nodes) / total_e
+                for pipe in ctx.pipelines}
+        pipes: list[PipeSnapshot] = []
         for pipe in ctx.pipelines:
             pid = pipe.pid
+            weight = state.weights[pid]
             started = np.isfinite(ctx.pipe_first[pid])
             terminal_done = bool(ctx.counters.done[pipe.terminal.node_id])
             if not started:
-                pipeline_progress[pid] = 0.0
+                pipes.append(PipeSnapshot(pid, weight, "unstarted"))
                 continue
             if terminal_done:
-                pipeline_progress[pid] = 1.0
-                overall += weights[pid]
+                pipes.append(PipeSnapshot(pid, weight, "done"))
                 continue
-            pr = self._partial_pipeline_run(ctx, pipe)
+            pr = ctx.live_pipeline_run(pipe)
             if pr is None:
+                pipes.append(PipeSnapshot(pid, weight, "short"))
+                continue
+            kind, features = self._selection_needs(pr, pid, state)
+            pipes.append(PipeSnapshot(pid, weight, "running", pr=pr,
+                                      kind=kind, features=features))
+        return ReportDraft(time=float(ctx.clock.now), pipes=pipes)
+
+    def _selection_needs(self, pr, pid: int, state: MonitorState
+                         ) -> tuple[str, np.ndarray | None]:
+        """Selector kind applying now, and the features if scoring is needed.
+
+        Static choice at pipeline start, revised once at the 20% marker
+        (§4.4).  Features are extracted causally, but only while the
+        kind's sticky choice is still missing from ``state`` — once the
+        choice is committed, later snapshots carry no feature vector.
+        """
+        fraction = pr.driver_fraction()[-1]
+        if (self.dynamic_selector is not None
+                and fraction >= self.dynamic_percent / 100.0):
+            if (pid in state.dynamic_choices
+                    or (pid, DYNAMIC) in state.requested):
+                return DYNAMIC, None
+            state.requested.add((pid, DYNAMIC))
+            return DYNAMIC, self._dynamic_extractor.extract(pr)
+        if (self.static_selector is None or pid in state.static_choices
+                or (pid, STATIC) in state.requested):
+            return STATIC, None
+        state.requested.add((pid, STATIC))
+        return STATIC, self._static_extractor.extract(pr)
+
+    # -- phase 2: finalization ----------------------------------------------
+
+    def finalize(self, draft: ReportDraft, state: MonitorState,
+                 resolve: Callable[[str, np.ndarray], str] | None = None
+                 ) -> ProgressReport:
+        """Turn a draft into a report, committing selections into ``state``.
+
+        ``resolve(kind, features)`` supplies the chosen estimator name for
+        a still-open selection; it defaults to scoring the single feature
+        vector with this monitor's own selectors.  The pooled service
+        pre-resolves choices into ``state`` in one batched pass, so its
+        ``resolve`` is only a lookup safety net.
+        """
+        if resolve is None:
+            resolve = self._resolve_one
+        overall = 0.0
+        pipeline_progress: dict[int, float] = {}
+        active_pid, active_name = -1, None
+        for snap in draft.pipes:
+            pid = snap.pid
+            if snap.status in ("unstarted", "short"):
                 pipeline_progress[pid] = 0.0
                 continue
-            name = self._choose(pr, pid, state)
-            value = float(self.estimators[name].estimate(pr)[-1])
+            if snap.status == "done":
+                pipeline_progress[pid] = 1.0
+                overall += snap.weight
+                continue
+            name = self._commit_choice(snap, state, resolve)
+            value = float(self.estimators[name].estimate(snap.pr)[-1])
             pipeline_progress[pid] = value
-            overall += weights[pid] * value
+            overall += snap.weight * value
             if pid > active_pid:
                 active_pid, active_name = pid, name
         return ProgressReport(
-            time=now,
+            time=draft.time,
             progress=float(min(overall, 1.0)),
             active_pid=active_pid,
             active_estimator=active_name,
@@ -152,81 +276,23 @@ class ProgressMonitor:
             pipeline_estimator=dict(state.choices),
         )
 
-    def _choose(self, pr: PipelineRun, pid: int, state: "_MonitorState") -> str:
-        """Static choice at pipeline start, revised once at the 20% marker."""
-        fraction = pr.driver_fraction()[-1]
-        if (self.dynamic_selector is not None
-                and fraction >= self.dynamic_percent / 100.0):
+    def _commit_choice(self, snap: PipeSnapshot, state: MonitorState,
+                       resolve: Callable[[str, np.ndarray], str]) -> str:
+        pid = snap.pid
+        if snap.kind == DYNAMIC:
             if pid not in state.dynamic_choices:
-                x = self._dynamic_extractor.extract(pr)
-                state.dynamic_choices[pid] = self.dynamic_selector.select_one(x)
+                state.dynamic_choices[pid] = resolve(DYNAMIC, snap.features)
             state.choices[pid] = state.dynamic_choices[pid]
             return state.dynamic_choices[pid]
         if pid not in state.static_choices:
             if self.static_selector is not None:
-                x = self._static_extractor.extract(pr)
-                state.static_choices[pid] = self.static_selector.select_one(x)
+                state.static_choices[pid] = resolve(STATIC, snap.features)
             else:
                 state.static_choices[pid] = self.fallback
         state.choices[pid] = state.static_choices[pid]
         return state.static_choices[pid]
 
-    def _partial_pipeline_run(self, ctx: ExecContext,
-                              pipe) -> PipelineRun | None:
-        arrays = ctx.log.as_arrays()
-        t_start = float(ctx.pipe_first[pipe.pid])
-        mask = arrays["times"] >= t_start
-        if int(mask.sum()) < 2:
-            return None
-        cols = np.asarray(pipe.node_ids)
-        members = pipe.nodes
-        local = {nid: j for j, nid in enumerate(pipe.node_ids)}
-        parents = {}
-        for node in ctx.plan.walk():
-            for child in node.children:
-                parents[child.node_id] = node.node_id
-        parent_local = np.array([
-            local.get(parents.get(n.node_id, -1), -1) for n in members],
-            dtype=np.int64)
-        driver_set = set(pipe.driver_ids)
-        # Best current knowledge of totals: exact for finished nodes; for
-        # blocking sources the materialized input count (their child's K).
-        n_partial = np.array([n.est_rows for n in members])
-        for j, node in enumerate(members):
-            if ctx.counters.done[node.node_id]:
-                n_partial[j] = ctx.counters.K[node.node_id]
-            elif node.op in (Op.SORT, Op.HASH_AGG) and node.children:
-                child = node.children[0].node_id
-                if ctx.counters.done[child]:
-                    n_partial[j] = ctx.counters.K[child]
-        return PipelineRun(
-            pid=pipe.pid,
-            query_name="(online)",
-            db_name=ctx.db.name,
-            times=arrays["times"][mask],
-            t_start=t_start,
-            t_end=float(ctx.clock.now),
-            K=arrays["K"][np.ix_(mask, cols)],
-            R=arrays["R"][np.ix_(mask, cols)],
-            W=arrays["W"][np.ix_(mask, cols)],
-            LB=arrays["LB"][np.ix_(mask, cols)],
-            UB=arrays["UB"][np.ix_(mask, cols)],
-            E0=np.array([n.est_rows for n in members]),
-            N=n_partial,
-            widths=np.array([n.est_row_width for n in members]),
-            table_rows=np.array([
-                float(ctx.db.table(n.table).n_rows) if n.table else np.nan
-                for n in members]),
-            ops=[n.op for n in members],
-            driver_mask=np.array([n.node_id in driver_set for n in members]),
-            parent_local=parent_local,
-            node_ids=cols,
-        )
-
-
-@dataclass
-class _MonitorState:
-    ticks: int = 0
-    static_choices: dict[int, str] = field(default_factory=dict)
-    dynamic_choices: dict[int, str] = field(default_factory=dict)
-    choices: dict[int, str] = field(default_factory=dict)
+    def _resolve_one(self, kind: str, x: np.ndarray) -> str:
+        selector = (self.dynamic_selector if kind == DYNAMIC
+                    else self.static_selector)
+        return selector.select_one(x)

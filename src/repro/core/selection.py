@@ -36,6 +36,11 @@ class EstimatorSelector:
         self.mart_params = mart_params or MARTParams()
         self.models: dict[str, MARTRegressor] = {}
         self.training_seconds_: float = 0.0
+        #: number of scoring passes made (each pass is one
+        #: :meth:`MARTRegressor.predict` per candidate, whatever the batch
+        #: size) — the quantity the batched service amortizes across
+        #: sessions; see ``benchmarks/bench_service_throughput.py``.
+        self.predict_calls_: int = 0
 
     @property
     def n_estimators(self) -> int:
@@ -70,6 +75,7 @@ class EstimatorSelector:
         if not self.is_fitted:
             raise RuntimeError("selector is not fitted")
         X = np.asarray(X, dtype=np.float64)
+        self.predict_calls_ += 1
         columns = [self.models[name].predict(X) for name in self.estimator_names]
         return np.column_stack(columns)
 

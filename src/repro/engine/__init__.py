@@ -24,9 +24,9 @@ paper's convention (§3.1, counter (1)).
 
 from repro.engine.chunk import Chunk
 from repro.engine.clock import CostModel, SimClock
-from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.engine.executor import ExecutionHandle, ExecutorConfig, QueryExecutor
 from repro.engine.memory import MemoryManager
-from repro.engine.run import PipelineRun, QueryRun
+from repro.engine.run import PipelineRun, QueryRun, live_pipeline_run
 
 __all__ = [
     "Chunk",
@@ -34,7 +34,9 @@ __all__ = [
     "SimClock",
     "MemoryManager",
     "QueryExecutor",
+    "ExecutionHandle",
     "ExecutorConfig",
     "QueryRun",
     "PipelineRun",
+    "live_pipeline_run",
 ]

@@ -5,6 +5,12 @@ advances the simulated clock on every charge, maintains the counter store,
 refreshes the online bounds ``LB_i``/``UB_i`` ([6]'s worst-case bounds based
 on input sizes and tuples seen so far), and snapshots observations at
 regular simulated-time ticks.
+
+Execution is resumable: :meth:`QueryExecutor.begin` returns an
+:class:`ExecutionHandle` whose :meth:`~ExecutionHandle.step` advances the
+query by one unit of work, so a scheduler can interleave many queries in
+time slices (see :mod:`repro.service`).  :meth:`QueryExecutor.execute` is
+the synchronous convenience wrapper that steps one handle to completion.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from repro.engine.clock import CostModel, SimClock
 from repro.engine.counters import CounterStore, ObservationLog, UNBOUNDED
 from repro.engine.iterators import build_iterator
 from repro.engine.memory import MemoryManager
-from repro.engine.run import NodeInfo, PipelineInfo, QueryRun
+from repro.engine.run import NodeInfo, PipelineInfo, QueryRun, live_pipeline_run
 from repro.plan.nodes import Op, PlanNode
 from repro.plan.pipelines import decompose_pipelines, node_to_pipeline
 
@@ -67,6 +73,10 @@ class ExecContext:
         self.pipe_last = np.full(n_pipes, np.nan)
         self._nodes = list(plan.walk())
         self._bottom_up = list(reversed(self._nodes))
+        self.parents: dict[int, int] = {}
+        for node in self._nodes:
+            for child in node.children:
+                self.parents[child.node_id] = node.node_id
         self._table_rows = np.full(n, np.nan)
         for node in self._nodes:
             if node.table is not None:
@@ -108,6 +118,12 @@ class ExecContext:
 
     def pipeline_of(self, node: PlanNode) -> int:
         return self.node_pid[node.node_id]
+
+    def live_pipeline_run(self, pipe, query_name: str = "(online)",
+                          min_observations: int = 2):
+        """Causal snapshot of a running pipeline (see :func:`live_pipeline_run`)."""
+        return live_pipeline_run(self, pipe, query_name=query_name,
+                                 min_observations=min_observations)
 
     def mark_done(self, node: PlanNode) -> None:
         self.counters.done[node.node_id] = True
@@ -190,6 +206,76 @@ class ExecContext:
         return lb, ub
 
 
+class ExecutionHandle:
+    """Resumable, step-wise execution of one plan.
+
+    Created by :meth:`QueryExecutor.begin`.  Each :meth:`step` performs one
+    unit of work — opening the iterator tree (which runs any blocking
+    builds) or pulling one output chunk from the root — and returns whether
+    work remains.  Interleaving ``step()`` calls across several handles is
+    how the multi-query progress service time-slices concurrent queries;
+    ``begin()`` + a ``step()`` loop is byte-for-byte equivalent to
+    :meth:`QueryExecutor.execute` (observation snapshots, counters and the
+    final :class:`QueryRun` are identical).
+    """
+
+    def __init__(self, executor: "QueryExecutor", plan: PlanNode,
+                 query_name: str):
+        if plan.node_id < 0:
+            plan.finalize()
+        self.plan = plan
+        self.query_name = query_name
+        self._executor = executor
+        self.ctx = ExecContext(executor.db, plan, executor.config,
+                               executor.cost_model, executor.on_observation)
+        self.ctx.maybe_observe(force=True)  # t=0 snapshot
+        self._root = build_iterator(plan, self.ctx)
+        self._opened = False
+        self._output_rows = 0
+        self._collected = [] if executor.config.collect_output else None
+        self._run: QueryRun | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._run is not None
+
+    @property
+    def result(self) -> QueryRun:
+        if self._run is None:
+            raise RuntimeError("execution has not finished; call step() "
+                               "until it returns False (or run_to_completion)")
+        return self._run
+
+    def step(self) -> bool:
+        """Advance execution by one unit of work; True while work remains."""
+        if self._run is not None:
+            return False
+        if not self._opened:
+            self._root.open()
+            self._opened = True
+            return True
+        chunk = self._root.next_chunk()
+        if chunk is not None:
+            self._output_rows += len(chunk)
+            if self._collected is not None and len(chunk):
+                self._collected.append(chunk)
+            return True
+        self.ctx.counters.done[:] = True
+        self.ctx.maybe_observe(force=True)  # final snapshot
+        run = self._executor._assemble(self.ctx, self.plan, self.query_name,
+                                       self._output_rows)
+        if self._collected is not None:
+            from repro.engine.chunk import Chunk
+            run.output = Chunk.concat(self._collected)
+        self._run = run
+        return False
+
+    def run_to_completion(self) -> QueryRun:
+        while self.step():
+            pass
+        return self.result
+
+
 class QueryExecutor:
     """Executes physical plans over a database, recording trajectories.
 
@@ -208,28 +294,13 @@ class QueryExecutor:
         self.cost_model = cost_model or CostModel()
         self.on_observation = on_observation
 
+    def begin(self, plan: PlanNode, query_name: str = "query") -> ExecutionHandle:
+        """Start ``plan`` without driving it; the caller steps the handle."""
+        return ExecutionHandle(self, plan, query_name)
+
     def execute(self, plan: PlanNode, query_name: str = "query") -> QueryRun:
         """Run ``plan`` to completion and return the recorded trajectories."""
-        if plan.node_id < 0:
-            plan.finalize()
-        ctx = ExecContext(self.db, plan, self.config, self.cost_model,
-                          self.on_observation)
-        ctx.maybe_observe(force=True)  # t=0 snapshot
-        root = build_iterator(plan, ctx)
-        root.open()
-        output_rows = 0
-        collected = [] if self.config.collect_output else None
-        while (chunk := root.next_chunk()) is not None:
-            output_rows += len(chunk)
-            if collected is not None and len(chunk):
-                collected.append(chunk)
-        ctx.counters.done[:] = True
-        ctx.maybe_observe(force=True)  # final snapshot
-        run = self._assemble(ctx, plan, query_name, output_rows)
-        if collected is not None:
-            from repro.engine.chunk import Chunk
-            run.output = Chunk.concat(collected)
-        return run
+        return self.begin(plan, query_name).run_to_completion()
 
     def _assemble(self, ctx: ExecContext, plan: PlanNode, query_name: str,
                   output_rows: int) -> QueryRun:

@@ -7,6 +7,11 @@ counters of §3.1.  :meth:`QueryRun.pipeline_run` slices out one pipeline's
 view — the granularity at which the paper trains and evaluates estimator
 selection ("we report the error on the level of individual pipelines",
 §6).
+
+:func:`live_pipeline_run` builds the same :class:`PipelineRun` view from a
+*still-executing* query's context — the causal snapshot that the online
+monitor and the multi-query progress service score at every observation
+tick (a snapshot at time *t* only uses counters up to *t*).
 """
 
 from __future__ import annotations
@@ -237,3 +242,60 @@ class PipelineRun:
         fraction = self.driver_fraction()
         hits = np.flatnonzero(fraction >= x_percent / 100.0)
         return int(hits[0]) if len(hits) else None
+
+
+def live_pipeline_run(ctx, pipe, query_name: str = "(online)",
+                      min_observations: int = 2) -> "PipelineRun | None":
+    """Causal :class:`PipelineRun` snapshot of a still-running pipeline.
+
+    ``ctx`` is the live :class:`~repro.engine.executor.ExecContext` (taken
+    duck-typed to avoid an import cycle) and ``pipe`` one of its pipelines.
+    Unlike :meth:`QueryRun.pipeline_run`, true totals are unknown mid-flight:
+    ``N`` holds the best *current* knowledge — exact counters for finished
+    nodes, the materialized input count for blocking sources whose build
+    completed, and the optimizer estimate ``E0`` otherwise.  Returns ``None``
+    while the pipeline has fewer than ``min_observations`` snapshots.
+    """
+    arrays = ctx.log.as_arrays()
+    t_start = float(ctx.pipe_first[pipe.pid])
+    mask = arrays["times"] >= t_start
+    if int(mask.sum()) < min_observations:
+        return None
+    cols = np.asarray(pipe.node_ids)
+    members = pipe.nodes
+    local = {nid: j for j, nid in enumerate(pipe.node_ids)}
+    parent_local = np.array([
+        local.get(ctx.parents.get(n.node_id, -1), -1) for n in members],
+        dtype=np.int64)
+    driver_set = set(pipe.driver_ids)
+    n_partial = np.array([n.est_rows for n in members])
+    for j, node in enumerate(members):
+        if ctx.counters.done[node.node_id]:
+            n_partial[j] = ctx.counters.K[node.node_id]
+        elif node.op in _MATERIALIZED_OPS and node.children:
+            child = node.children[0].node_id
+            if ctx.counters.done[child]:
+                n_partial[j] = ctx.counters.K[child]
+    return PipelineRun(
+        pid=pipe.pid,
+        query_name=query_name,
+        db_name=ctx.db.name,
+        times=arrays["times"][mask],
+        t_start=t_start,
+        t_end=float(ctx.clock.now),
+        K=arrays["K"][np.ix_(mask, cols)],
+        R=arrays["R"][np.ix_(mask, cols)],
+        W=arrays["W"][np.ix_(mask, cols)],
+        LB=arrays["LB"][np.ix_(mask, cols)],
+        UB=arrays["UB"][np.ix_(mask, cols)],
+        E0=np.array([n.est_rows for n in members]),
+        N=n_partial,
+        widths=np.array([n.est_row_width for n in members]),
+        table_rows=np.array([
+            float(ctx.db.table(n.table).n_rows) if n.table else np.nan
+            for n in members]),
+        ops=[n.op for n in members],
+        driver_mask=np.array([n.node_id in driver_set for n in members]),
+        parent_local=parent_local,
+        node_ids=cols,
+    )

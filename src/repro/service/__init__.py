@@ -1,0 +1,35 @@
+"""Concurrent multi-query progress serving (the DBMS-side deployment).
+
+König et al.'s selection framework is built to live inside a database
+server that monitors *many* queries at once.  This package is that serving
+layer for the reproduction:
+
+* :mod:`repro.service.session` — per-query state: resumable execution
+  handle, sticky selection state, queued report drafts;
+* :mod:`repro.service.scheduler` — round-robin time slicing over
+  :class:`~repro.engine.executor.ExecutionHandle` steps;
+* :mod:`repro.service.scoring` — batched selector scoring: one
+  vectorized :meth:`~repro.core.selection.EstimatorSelector.predict_errors`
+  pass per selector kind per tick, shared by all sessions;
+* :mod:`repro.service.service` — :class:`ProgressService`, tying the
+  three together and exposing submit / tick / run_until_complete.
+
+Pooled report streams are bit-identical to what a solo
+:class:`~repro.core.monitor.ProgressMonitor` produces for each query —
+the batching changes *when* model scoring happens, never its inputs.
+"""
+
+from repro.service.scheduler import RoundRobinScheduler
+from repro.service.scoring import BatchedSelectorScorer, ScoringStats
+from repro.service.service import ProgressService, ServiceStats
+from repro.service.session import QuerySession, SessionStatus
+
+__all__ = [
+    "ProgressService",
+    "ServiceStats",
+    "QuerySession",
+    "SessionStatus",
+    "RoundRobinScheduler",
+    "BatchedSelectorScorer",
+    "ScoringStats",
+]

@@ -1,0 +1,183 @@
+"""The multi-query progress service.
+
+:class:`ProgressService` is the serving layer the ROADMAP's north star
+asks for: it admits many query sessions, interleaves their execution in
+round-robin time slices over resumable
+:class:`~repro.engine.executor.ExecutionHandle` objects, and produces the
+same per-query :class:`~repro.core.monitor.ProgressReport` streams a solo
+:class:`~repro.core.monitor.ProgressMonitor` would — bit-identical, which
+the service test suite verifies — while scoring estimator selection for
+*all* sessions in one batched pass per tick
+(:mod:`repro.service.scoring`).
+
+A tick is one scheduler round:
+
+1. admission — pending sessions are started while live slots are free;
+2. execution — every live session runs for ``slice_steps`` engine steps;
+   observation callbacks fire inside the steps and queue causal report
+   drafts on their session;
+3. flush — pending estimator selections of all sessions are deduplicated
+   (first observation wins, exactly like the solo monitor), scored in one
+   batch per selector kind, committed into each session's state, and the
+   queued drafts are finalized into reports in capture order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.catalog.table import Database
+from repro.core.monitor import DYNAMIC, ProgressMonitor, ProgressReport
+from repro.engine.clock import CostModel
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.engine.run import QueryRun
+from repro.plan.nodes import PlanNode
+from repro.service.scheduler import RoundRobinScheduler
+from repro.service.scoring import BatchedSelectorScorer
+from repro.service.session import QuerySession, SessionStatus
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative work accounting across ticks."""
+
+    ticks: int = 0
+    steps: int = 0
+    reports: int = 0
+    sessions_submitted: int = 0
+    sessions_completed: int = 0
+
+    @property
+    def reports_per_tick(self) -> float:
+        return self.reports / self.ticks if self.ticks else 0.0
+
+
+class ProgressService:
+    """Monitors many concurrently executing queries.
+
+    Parameters
+    ----------
+    monitor:
+        The (stateless-per-query) :class:`ProgressMonitor` providing the
+        selection policy, estimator pool and report logic shared by all
+        sessions.  Its ``on_report`` hook is ignored here — use the
+        service-level ``on_report``.
+    slice_steps:
+        Engine steps each live session gets per tick.
+    max_live:
+        Admission-control bound on concurrently executing sessions;
+        ``None`` means unbounded.
+    on_report:
+        Called as ``on_report(session, report)`` for every finalized
+        report, in per-session capture order.
+    """
+
+    def __init__(self, monitor: ProgressMonitor, slice_steps: int = 8,
+                 max_live: int | None = None,
+                 on_report: Callable[[QuerySession, ProgressReport], None]
+                 | None = None):
+        self.monitor = monitor
+        self.scheduler = RoundRobinScheduler(slice_steps)
+        self.scorer = BatchedSelectorScorer(monitor.static_selector,
+                                            monitor.dynamic_selector)
+        if max_live is not None and max_live <= 0:
+            raise ValueError("max_live must be positive (or None)")
+        self.max_live = max_live
+        self.on_report = on_report
+        self.sessions: list[QuerySession] = []
+        self.stats = ServiceStats()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, db: Database, plan: PlanNode, query_name: str = "query",
+               config: ExecutorConfig | None = None,
+               cost_model: CostModel | None = None) -> int:
+        """Register a query for execution; returns its session id."""
+        executor = QueryExecutor(db, config=config, cost_model=cost_model)
+        session = QuerySession(len(self.sessions), executor, plan,
+                               query_name, self.monitor)
+        self.sessions.append(session)
+        self.stats.sessions_submitted += 1
+        return session.session_id
+
+    def session(self, session_id: int) -> QuerySession:
+        return self.sessions[session_id]
+
+    # -- driving -------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while any session still has work to do."""
+        return any(s.status is not SessionStatus.DONE for s in self.sessions)
+
+    def tick(self) -> bool:
+        """One scheduler round (admission, slices, batched flush).
+
+        Returns True while work remains.
+        """
+        self._admit()
+        round_sessions = self.scheduler.plan_round(self.sessions)
+        for session in round_sessions:
+            used = self.scheduler.run_slice(session)
+            self.stats.steps += used
+            if session.done:
+                self.stats.sessions_completed += 1
+        if round_sessions:
+            self.stats.ticks += 1
+        self._flush()
+        return self.active
+
+    def run_until_complete(self, max_ticks: int | None = None
+                           ) -> dict[int, tuple[QueryRun, list[ProgressReport]]]:
+        """Drive all sessions to completion; per-session (run, reports)."""
+        ticks = 0
+        while self.tick():
+            ticks += 1
+            if max_ticks is not None and ticks >= max_ticks:
+                raise RuntimeError(
+                    f"service did not drain within {max_ticks} ticks")
+        return {s.session_id: (s.result, s.reports)
+                for s in self.sessions if s.done}
+
+    # -- internals -----------------------------------------------------------
+
+    def _admit(self) -> None:
+        live = sum(s.status is SessionStatus.RUNNING for s in self.sessions)
+        for session in self.sessions:
+            if self.max_live is not None and live >= self.max_live:
+                break
+            if session.status is SessionStatus.PENDING:
+                session.start()
+                live += 1
+
+    def _flush(self) -> None:
+        """Batch-resolve pending selections, then finalize queued drafts."""
+        requests: list[tuple[str, object]] = []
+        targets: list[tuple[QuerySession, int, str]] = []
+        for session in self.sessions:
+            if not session.drafts:
+                continue
+            seen: set[tuple[int, str]] = set()
+            for draft in session.drafts:
+                for snap in draft.pending_selections(session.state):
+                    key = (snap.pid, snap.kind)
+                    if key in seen:
+                        continue  # first observation wins, as in solo mode
+                    seen.add(key)
+                    requests.append((snap.kind, snap.features))
+                    targets.append((session, snap.pid, snap.kind))
+        if requests:
+            names = self.scorer.resolve(requests)
+            for (session, pid, kind), name in zip(targets, names):
+                made = (session.state.dynamic_choices if kind == DYNAMIC
+                        else session.state.static_choices)
+                made[pid] = name
+        for session in self.sessions:
+            while session.drafts:
+                draft = session.drafts.popleft()
+                report = self.monitor.finalize(draft, session.state)
+                session.reports.append(report)
+                self.stats.reports += 1
+                if self.on_report is not None:
+                    self.on_report(session, report)

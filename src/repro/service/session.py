@@ -1,0 +1,95 @@
+"""One live query inside the progress service.
+
+A :class:`QuerySession` bundles everything the service tracks per query:
+the resumable :class:`~repro.engine.executor.ExecutionHandle`, the
+per-query :class:`~repro.core.monitor.MonitorState` (sticky estimator
+choices + tick counter), the queue of causally-captured
+:class:`~repro.core.monitor.ReportDraft` objects awaiting finalization,
+and the finalized :class:`~repro.core.monitor.ProgressReport` stream.
+
+Sessions are passive: the :class:`~repro.service.service.ProgressService`
+steps their handles, batches their pending estimator selections, and
+finalizes their drafts.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from repro.core.monitor import (
+    MonitorState,
+    ProgressMonitor,
+    ProgressReport,
+    ReportDraft,
+)
+from repro.engine.executor import ExecutionHandle, QueryExecutor
+from repro.engine.run import QueryRun
+
+
+class SessionStatus(enum.Enum):
+    PENDING = "pending"    # submitted, waiting for a live slot
+    RUNNING = "running"
+    DONE = "done"
+
+
+class QuerySession:
+    """State of one monitored query managed by the service."""
+
+    def __init__(self, session_id: int, executor: QueryExecutor, plan,
+                 query_name: str, monitor: ProgressMonitor):
+        self.session_id = session_id
+        self.query_name = query_name
+        self.status = SessionStatus.PENDING
+        self.state = MonitorState()
+        self.reports: list[ProgressReport] = []
+        self.drafts: deque[ReportDraft] = deque()
+        self.steps = 0
+        self._monitor = monitor
+        self._executor = executor
+        self._plan = plan
+        self._handle: ExecutionHandle | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Create the execution handle (runs the t=0 observation)."""
+        assert self.status is SessionStatus.PENDING
+        self.status = SessionStatus.RUNNING
+        # Binding on_observation per-session: the executor instance is owned
+        # by this session, so the callback can close over its state.
+        self._executor.on_observation = self._observe
+        self._handle = self._executor.begin(self._plan, self.query_name)
+
+    def step(self) -> bool:
+        """Advance by one unit of work; returns False when the query ends."""
+        assert self._handle is not None
+        self.steps += 1
+        more = self._handle.step()
+        if not more:
+            self.status = SessionStatus.DONE
+        return more
+
+    @property
+    def done(self) -> bool:
+        return self.status is SessionStatus.DONE
+
+    @property
+    def result(self) -> QueryRun:
+        assert self._handle is not None
+        return self._handle.result
+
+    # -- observation capture -------------------------------------------------
+
+    def _observe(self, ctx) -> None:
+        """Observation callback: causal capture only, no scoring.
+
+        Mirrors the solo :meth:`ProgressMonitor.run` callback except that
+        the draft is queued instead of finalized — the service resolves
+        pending selections for *all* sessions in one batched pass at the
+        end of the scheduler round, then finalizes queued drafts in order.
+        """
+        self.state.ticks += 1
+        if self.state.ticks % self._monitor.refresh_every:
+            return
+        self.drafts.append(self._monitor.snapshot(ctx, self.state))

@@ -5,17 +5,29 @@ code paths already covered by the integration tests; quickstart is the
 user's first contact and must never rot.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
+
+
+def _env_with_src():
+    """Examples import ``repro`` from the src/ layout even when the
+    package is not installed (pytest's own pythonpath does not reach
+    subprocesses)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p)
+    return env
 
 
 def test_quickstart_runs():
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / "quickstart.py")],
-        capture_output=True, text=True, timeout=300)
+        capture_output=True, text=True, timeout=300, env=_env_with_src())
     assert result.returncode == 0, result.stderr
     assert "Physical plan" in result.stdout
     assert "Done:" in result.stdout

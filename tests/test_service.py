@@ -1,0 +1,251 @@
+"""Tests for the concurrent multi-query progress service.
+
+The load-bearing property is *pooling transparency*: a query monitored
+inside the pooled service — time-sliced against other queries, with its
+estimator selections scored in cross-session batches — must produce the
+bit-identical ProgressReport sequence a solo ProgressMonitor produces for
+the same seed.  Batching may change when scoring happens, never what it
+computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import ProgressMonitor
+from repro.core.training import collect_training_data, train_selector
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.features.vector import FeatureExtractor
+from repro.learning.mart import MARTParams
+from repro.progress.registry import all_estimators
+from repro.query.logical import JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+from repro.service import (
+    BatchedSelectorScorer,
+    ProgressService,
+    RoundRobinScheduler,
+    SessionStatus,
+)
+
+FAST_MART = MARTParams(n_trees=8, max_leaves=4)
+SEEDS = (2, 3, 4, 5)
+
+
+@pytest.fixture(scope="module")
+def trained_selectors(pipeline_runs):
+    estimators = all_estimators()
+    static_data = collect_training_data(
+        pipeline_runs, estimators, FeatureExtractor("static"))
+    dynamic_data = collect_training_data(
+        pipeline_runs, estimators,
+        FeatureExtractor("dynamic", estimators=estimators))
+    return (train_selector(static_data, FAST_MART),
+            train_selector(dynamic_data, FAST_MART))
+
+
+@pytest.fixture(scope="module")
+def monitor(trained_selectors):
+    static_sel, dynamic_sel = trained_selectors
+    return ProgressMonitor(static_selector=static_sel,
+                           dynamic_selector=dynamic_sel,
+                           refresh_every=3)
+
+
+@pytest.fixture(scope="module")
+def streaming_query():
+    """A join whose root streams chunks (no blocking sort/agg at the top),
+    so execution takes many resumable steps and sessions visibly
+    interleave."""
+    return QuerySpec(
+        name="streaming_join",
+        tables=["orders", "lineitem"],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        filters=[FilterSpec("lineitem", "l_quantity", ">=", 2.0)],
+    )
+
+
+def _config(seed):
+    return ExecutorConfig(batch_size=256, target_observations=60, seed=seed)
+
+
+class TestExecutionHandle:
+    def test_step_loop_equals_execute(self, tpch_db, tpch_planner, join_query):
+        plan_a = tpch_planner.plan(join_query)
+        plan_b = tpch_planner.plan(join_query)
+        ex = QueryExecutor(tpch_db, _config(7))
+        run_a = ex.execute(plan_a, query_name="a")
+        handle = QueryExecutor(tpch_db, _config(7)).begin(plan_b, "b")
+        steps = 0
+        while handle.step():
+            steps += 1
+        run_b = handle.result
+        assert steps >= 2  # open + at least one chunk pull
+        assert run_a.total_time == run_b.total_time
+        assert np.array_equal(run_a.times, run_b.times)
+        assert np.array_equal(run_a.K, run_b.K)
+        assert np.array_equal(run_a.N, run_b.N)
+
+    def test_result_before_done_raises(self, tpch_db, tpch_planner,
+                                       join_query):
+        handle = QueryExecutor(tpch_db, _config(7)).begin(
+            tpch_planner.plan(join_query))
+        with pytest.raises(RuntimeError):
+            handle.result
+
+    def test_step_after_done_is_noop(self, tpch_db, tpch_planner, join_query):
+        handle = QueryExecutor(tpch_db, _config(7)).begin(
+            tpch_planner.plan(join_query))
+        handle.run_to_completion()
+        assert handle.done
+        assert handle.step() is False
+
+
+class TestPoolingTransparency:
+    @pytest.fixture(scope="class")
+    def solo_reports(self, tpch_db, tpch_planner, join_query, monitor):
+        out = {}
+        for seed in SEEDS:
+            _, reports = monitor.run(tpch_db, tpch_planner.plan(join_query),
+                                     config=_config(seed))
+            out[seed] = reports
+        return out
+
+    @pytest.fixture(scope="class")
+    def pooled(self, tpch_db, tpch_planner, join_query, monitor):
+        service = ProgressService(monitor, slice_steps=4)
+        for seed in SEEDS:
+            service.submit(tpch_db, tpch_planner.plan(join_query),
+                           query_name=f"seed{seed}", config=_config(seed))
+        results = service.run_until_complete(max_ticks=10_000)
+        return service, results
+
+    def test_identical_report_sequences(self, solo_reports, pooled):
+        _, results = pooled
+        for sid, seed in enumerate(SEEDS):
+            _, pooled_reports = results[sid]
+            assert pooled_reports == solo_reports[seed]
+
+    def test_identical_query_runs(self, tpch_db, tpch_planner, join_query,
+                                  pooled):
+        _, results = pooled
+        solo = QueryExecutor(tpch_db, _config(SEEDS[0])).execute(
+            tpch_planner.plan(join_query))
+        pooled_run, _ = results[0]
+        assert pooled_run.total_time == solo.total_time
+        assert np.array_equal(pooled_run.K, solo.K)
+
+    def test_selections_were_batched(self, pooled):
+        service, results = pooled
+        stats = service.scorer.stats
+        n_selections = stats.rows
+        assert n_selections >= len(SEEDS)  # at least one choice per query
+        # Cross-session batching: far fewer scoring passes than selections.
+        assert stats.batches < n_selections
+        assert stats.rows_per_batch > 1.0
+
+    def test_service_is_deterministic(self, tpch_db, tpch_planner, join_query,
+                                      monitor, pooled):
+        _, first = pooled
+        service = ProgressService(monitor, slice_steps=4)
+        for seed in SEEDS:
+            service.submit(tpch_db, tpch_planner.plan(join_query),
+                           query_name=f"seed{seed}", config=_config(seed))
+        second = service.run_until_complete(max_ticks=10_000)
+        for sid in range(len(SEEDS)):
+            assert second[sid][1] == first[sid][1]
+
+
+class TestScheduling:
+    def test_sessions_interleave(self, tpch_db, tpch_planner, streaming_query,
+                                 monitor):
+        service = ProgressService(monitor, slice_steps=2)
+        for seed in SEEDS:
+            service.submit(tpch_db, tpch_planner.plan(streaming_query),
+                           query_name=f"s{seed}", config=_config(seed))
+        max_live_seen = 0
+        ticks = 0
+        while service.tick():
+            ticks += 1
+            live = sum(s.status is SessionStatus.RUNNING
+                       for s in service.sessions)
+            max_live_seen = max(max_live_seen, live)
+            assert ticks < 10_000
+        assert ticks >= 2  # work spans several rounds
+        assert max_live_seen >= 2  # several queries genuinely in flight
+
+    def test_admission_control(self, tpch_db, tpch_planner, streaming_query,
+                               monitor):
+        service = ProgressService(monitor, slice_steps=2, max_live=2)
+        for seed in SEEDS:
+            service.submit(tpch_db, tpch_planner.plan(streaming_query),
+                           query_name=f"s{seed}", config=_config(seed))
+        while service.tick():
+            live = sum(s.status is SessionStatus.RUNNING
+                       for s in service.sessions)
+            assert live <= 2
+        assert service.stats.sessions_completed == len(SEEDS)
+
+    def test_round_robin_rotation(self):
+        scheduler = RoundRobinScheduler(slice_steps=3)
+
+        class Stub:
+            status = SessionStatus.RUNNING
+
+        a, b, c = Stub(), Stub(), Stub()
+        first = scheduler.plan_round([a, b, c])
+        second = scheduler.plan_round([a, b, c])
+        assert first == [a, b, c]
+        assert second == [b, c, a]
+
+    def test_invalid_parameters(self, monitor):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(slice_steps=0)
+        with pytest.raises(ValueError):
+            ProgressService(monitor, max_live=0)
+
+
+class TestServiceWithoutSelectors:
+    def test_fallback_pool_matches_solo(self, tpch_db, tpch_planner,
+                                        join_query):
+        plain = ProgressMonitor(fallback="tgn", refresh_every=4)
+        _, solo = plain.run(tpch_db, tpch_planner.plan(join_query),
+                            config=_config(3))
+        service = ProgressService(plain, slice_steps=4)
+        service.submit(tpch_db, tpch_planner.plan(join_query),
+                       config=_config(3))
+        results = service.run_until_complete(max_ticks=10_000)
+        _, pooled_reports = results[0]
+        assert pooled_reports == solo
+        names = {n for r in pooled_reports
+                 for n in r.pipeline_estimator.values()}
+        assert names == {"tgn"}
+        assert service.scorer.stats.batches == 0  # nothing to score
+
+
+class TestBatchedScorer:
+    def test_batch_matches_single(self, trained_selectors, pipeline_runs):
+        static_sel, _ = trained_selectors
+        extractor = FeatureExtractor("static")
+        X = [extractor.extract(pr) for pr in pipeline_runs]
+        scorer = BatchedSelectorScorer(static_sel, None)
+        batched = scorer.resolve([("static", x) for x in X])
+        singles = [static_sel.select_one(x) for x in X]
+        assert batched == singles
+        assert scorer.stats.batches == 1
+        assert scorer.stats.rows == len(X)
+
+    def test_missing_selector_raises(self):
+        scorer = BatchedSelectorScorer(None, None)
+        with pytest.raises(RuntimeError):
+            scorer.resolve([("static", np.zeros(4))])
+
+    def test_on_report_hook(self, tpch_db, tpch_planner, join_query, monitor):
+        seen = []
+        service = ProgressService(
+            monitor, slice_steps=4,
+            on_report=lambda session, report: seen.append(
+                (session.session_id, report)))
+        service.submit(tpch_db, tpch_planner.plan(join_query),
+                       config=_config(2))
+        results = service.run_until_complete(max_ticks=10_000)
+        _, reports = results[0]
+        assert [r for _, r in seen] == reports
