@@ -1,0 +1,79 @@
+"""Trace-cache warm start: replaying recorded workloads vs. executing them.
+
+Every benchmark in this directory consumes counter trajectories, not live
+queries — so with ``REPRO_TRACE_DIR`` set, the harness records each
+workload once and every later process replays it from disk.  This file
+measures that lever at the active scale profile: a *cold* harness (empty
+trace store: data generation + planning + execution + recording) against a
+*warm* one (replay only), on the same workload, and verifies the replayed
+runs produce bit-identical training matrices.
+
+Acceptance: warm start must be >= 5x faster than cold execution.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentHarness
+from repro.experiments.results import format_table, save_result
+from repro.experiments.scale import active_scale
+from repro.trace.store import TraceStore
+
+WORKLOAD = "real1"
+REQUIRED_SPEEDUP = 5.0
+
+
+def test_trace_warmstart(benchmark, tmp_path):
+    scale = active_scale()
+    store = TraceStore(tmp_path / "traces")
+    results = {}
+
+    def measure():
+        cold = ExperimentHarness(scale, seed=0, trace_store=store)
+        started = time.perf_counter()
+        cold_runs = cold.runs(WORKLOAD)
+        cold_seconds = time.perf_counter() - started
+
+        warm = ExperimentHarness(scale, seed=0, trace_store=store)
+        started = time.perf_counter()
+        warm_runs = warm.runs(WORKLOAD)
+        warm_seconds = time.perf_counter() - started
+
+        identical = len(cold_runs) == len(warm_runs) and all(
+            np.array_equal(a.K, b.K) and np.array_equal(a.times, b.times)
+            and np.array_equal(a.UB, b.UB) and a.total_time == b.total_time
+            for a, b in zip(cold_runs, warm_runs))
+        cold_data = cold.training_data(WORKLOAD, "dynamic")
+        warm_data = warm.training_data(WORKLOAD, "dynamic")
+        data_identical = (
+            np.array_equal(cold_data.X, warm_data.X)
+            and np.array_equal(cold_data.errors_l1, warm_data.errors_l1)
+            and np.array_equal(cold_data.errors_l2, warm_data.errors_l2))
+        results.update(
+            cold_seconds=cold_seconds, warm_seconds=warm_seconds,
+            speedup=cold_seconds / max(warm_seconds, 1e-9),
+            n_runs=len(cold_runs), identical=identical,
+            data_identical=data_identical)
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        ["cold (execute + record)", f"{results['cold_seconds']:.3f}", "—"],
+        ["warm (replay from trace)", f"{results['warm_seconds']:.3f}",
+         f"{results['speedup']:.1f}x faster"],
+    ]
+    table = format_table(
+        ["path", "seconds", "speedup"], rows,
+        title=(f"Harness warm start — workload {WORKLOAD!r}, "
+               f"{results['n_runs']} queries, scale {scale.name!r}"))
+    print("\n" + table)
+    save_result("trace_warmstart", table, results)
+
+    assert results["identical"], "replayed runs diverged from executed runs"
+    assert results["data_identical"], \
+        "replayed TrainingData diverged from direct execution"
+    assert results["speedup"] >= REQUIRED_SPEEDUP, (
+        f"warm start only {results['speedup']:.1f}x faster than cold "
+        f"(need >= {REQUIRED_SPEEDUP}x)")

@@ -4,6 +4,11 @@ One :class:`ExperimentHarness` per session: all benchmark files share the
 executed workloads, feature matrices and the expensive leave-one-out
 selector trainings.  Scale is controlled by ``REPRO_SCALE``
 (tiny / small / paper; default small).
+
+Across *processes*, set ``REPRO_TRACE_DIR`` to a directory and the
+harness records each workload once and replays it (bit-identically) in
+every later benchmark run — see :mod:`repro.trace` and
+``bench_trace_warmstart.py``.
 """
 
 from __future__ import annotations

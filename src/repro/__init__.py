@@ -9,8 +9,10 @@ The package is organized bottom-up (see DESIGN.md for the full map):
 * learning: :mod:`repro.features`, :mod:`repro.learning`;
 * the paper's contribution: :mod:`repro.core` (estimator selection and the
   online progress monitor);
+* persistence: :mod:`repro.trace` (recorded execution traces, replay,
+  the ``REPRO_TRACE_DIR`` cache);
 * serving: :mod:`repro.service` (concurrent multi-query progress service
-  with batched selector scoring);
+  with batched selector scoring, live or replayed sessions);
 * evaluation assets: :mod:`repro.workloads`, :mod:`repro.experiments`.
 
 Quickstart
@@ -32,6 +34,7 @@ from repro.features import FeatureExtractor
 from repro.learning import MARTParams, MARTRegressor
 from repro.progress import all_estimators, original_estimators
 from repro.service import ProgressService
+from repro.trace import ReplayExecutor, TraceStore, replay_monitor
 
 __version__ = "1.0.0"
 
@@ -48,6 +51,9 @@ __all__ = [
     "FeatureExtractor",
     "MARTRegressor",
     "MARTParams",
+    "TraceStore",
+    "ReplayExecutor",
+    "replay_monitor",
     "all_estimators",
     "original_estimators",
     "quickstart_components",

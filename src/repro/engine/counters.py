@@ -33,7 +33,14 @@ class CounterStore:
 
 
 class ObservationLog:
-    """Snapshots of the counter store over time."""
+    """Snapshots of the counter store over time.
+
+    Besides the counter trajectories, each snapshot records the per-node
+    done flags ``D_i^t`` — they cost one boolean row and make recorded
+    traces replayable: a replayed monitor needs to know *when* each node
+    finished, which the counters alone do not encode (see
+    :mod:`repro.trace.replay`).
+    """
 
     def __init__(self, n_nodes: int):
         self.n_nodes = n_nodes
@@ -43,15 +50,28 @@ class ObservationLog:
         self._W: list[np.ndarray] = []
         self._LB: list[np.ndarray] = []
         self._UB: list[np.ndarray] = []
+        self._D: list[np.ndarray] = []
 
     def snapshot(self, now: float, counters: CounterStore,
                  lb: np.ndarray, ub: np.ndarray) -> None:
+        if counters.n_nodes != self.n_nodes:
+            raise ValueError(
+                f"counter store tracks {counters.n_nodes} nodes but the "
+                f"observation log was sized for {self.n_nodes}")
+        lb = np.asarray(lb)
+        ub = np.asarray(ub)
+        expected = (self.n_nodes,)
+        if lb.shape != expected or ub.shape != expected:
+            raise ValueError(
+                f"bounds must have shape {expected}, got lb {lb.shape} / "
+                f"ub {ub.shape}")
         self.times.append(now)
         self._K.append(counters.K.copy())
         self._R.append(counters.R.copy())
         self._W.append(counters.W.copy())
         self._LB.append(lb.copy())
         self._UB.append(ub.copy())
+        self._D.append(counters.done.copy())
 
     def __len__(self) -> int:
         return len(self.times)
@@ -65,7 +85,8 @@ class ObservationLog:
         if not self.times:
             empty = np.empty((0, self.n_nodes))
             return {"times": np.empty(0), "K": empty, "R": empty.copy(),
-                    "W": empty.copy(), "LB": empty.copy(), "UB": empty.copy()}
+                    "W": empty.copy(), "LB": empty.copy(), "UB": empty.copy(),
+                    "D": np.empty((0, self.n_nodes), dtype=bool)}
         return {
             "times": np.asarray(self.times),
             "K": np.vstack(self._K),
@@ -73,4 +94,5 @@ class ObservationLog:
             "W": np.vstack(self._W),
             "LB": np.vstack(self._LB),
             "UB": np.vstack(self._UB),
+            "D": np.vstack(self._D),
         }

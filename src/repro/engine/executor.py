@@ -354,4 +354,5 @@ class QueryExecutor:
             total_time=float(ctx.clock.now),
             output_rows=output_rows,
             spill_events=ctx.memory.spill_events,
+            D=arrays["D"],
         )

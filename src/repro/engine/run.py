@@ -83,10 +83,32 @@ class QueryRun:
     output_rows: int = 0
     spill_events: int = 0
     output: "object | None" = None  # Chunk of result rows when collected
+    D: np.ndarray | None = None  # (T, n) per-node done flags at each snapshot
 
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)
+
+    # -- persistence (repro.trace) ------------------------------------------
+
+    def to_trace(self, path):
+        """Record this run as a single-run trace directory (see
+        :mod:`repro.trace`).  Returns the written :class:`~pathlib.Path`."""
+        from repro.trace.store import write_trace
+
+        return write_trace(path, [self])
+
+    @staticmethod
+    def from_trace(path) -> "QueryRun":
+        """Replay a single-run trace written by :meth:`to_trace`."""
+        from repro.trace.store import read_trace
+
+        runs, _ = read_trace(path)
+        if len(runs) != 1:
+            raise ValueError(
+                f"expected a single-run trace at {path}, found {len(runs)} "
+                f"runs; use repro.trace.read_trace for bundles")
+        return runs[0]
 
     def true_progress(self) -> np.ndarray:
         """Time-based ground-truth progress at each observation."""

@@ -5,9 +5,19 @@ training matrices, so that every benchmark file (one per paper table or
 figure) reuses the same underlying runs.  Also hosts the train/test split
 helpers behind the sensitivity tables (§6.1) and the ad-hoc
 leave-one-workload-out protocol (§6.2).
+
+Across processes, runs are cached as recorded traces: point
+``REPRO_TRACE_DIR`` at a directory (or pass a
+:class:`~repro.trace.store.TraceStore`) and every workload executes at
+most once per (workload, scale, seed, format-version) content key — all
+later harnesses, in any process, replay the recording instead of paying
+engine cost.  Replayed runs are bit-identical to executed ones (see
+:mod:`repro.trace`), so training data and benchmark numbers are unchanged.
 """
 
 from __future__ import annotations
+
+from dataclasses import asdict
 
 import numpy as np
 
@@ -16,23 +26,29 @@ from repro.core.training import (
     collect_training_data,
     runs_to_pipelines,
 )
+from repro.engine.clock import CostModel
 from repro.engine.executor import ExecutorConfig, QueryExecutor
 from repro.engine.run import PipelineRun, QueryRun
 from repro.experiments.scale import ScaleProfile, active_scale
 from repro.features.vector import FeatureExtractor
 from repro.progress.registry import all_estimators
+from repro.trace.format import TRACE_FORMAT_VERSION
+from repro.trace.store import TraceStore, content_key
 from repro.workloads.suite import WorkloadBundle, WorkloadSuite
 
 
 class ExperimentHarness:
     """Caches workload runs / training data for one scale profile."""
 
-    def __init__(self, scale: ScaleProfile | None = None, seed: int = 0):
+    def __init__(self, scale: ScaleProfile | None = None, seed: int = 0,
+                 trace_store: TraceStore | None = None):
         self.scale = scale or active_scale()
         self.seed = seed
         self.suite = WorkloadSuite(self.scale.suite, seed=seed)
         self.estimators = all_estimators(include_worst_case=True)
         self.estimator_names = [e.name for e in self.estimators]
+        self.trace_store = (trace_store if trace_store is not None
+                            else TraceStore.from_env())
         self._runs: dict[str, list[QueryRun]] = {}
         self._pipelines: dict[str, list[PipelineRun]] = {}
         self._data: dict[tuple[str, str], TrainingData] = {}
@@ -51,11 +67,55 @@ class ExperimentHarness:
             seed=self.seed * 100_003 + query_index,
         )
 
+    def trace_key(self, workload: str) -> str:
+        """Content key identifying one workload's recording.
+
+        Covers every *knob* that shapes the recorded trajectories — the
+        workload name, the suite/scale parameters, the full executor
+        config, the cost-model constants, the harness seed and the trace
+        format version — so a scale, seed or tuning change misses the
+        cache instead of replaying stale data.  Changes to engine *code*
+        are not captured; clear the trace directory (or bump
+        ``TRACE_FORMAT_VERSION``) after behaviour-changing engine edits.
+        """
+        config = self.executor_config(0)
+        payload = {
+            "trace_format": TRACE_FORMAT_VERSION,
+            "workload": workload,
+            "seed": self.seed,
+            "suite": asdict(self.scale.suite),
+            "executor": {
+                "batch_size": config.batch_size,
+                "memory_budget_bytes": config.memory_budget_bytes,
+                "target_observations": config.target_observations,
+                "max_observations": config.max_observations,
+            },
+            "cost_model": asdict(CostModel()),
+        }
+        return f"{workload}-{content_key(payload)}"
+
     def runs(self, workload: str) -> list[QueryRun]:
-        """Execute (once) and cache all queries of a workload."""
+        """All executed queries of a workload, cached at two levels.
+
+        In-process: executed (or replayed) once per harness.  Across
+        processes: when a trace store is configured, a recorded workload
+        is replayed from disk — skipping data generation, planning and
+        execution entirely — and a cache miss records the fresh runs for
+        every later process.
+        """
         if workload not in self._runs:
+            store, key = self.trace_store, None
+            if store is not None:
+                key = self.trace_key(workload)
+                if store.exists(key):
+                    self._runs[workload] = store.load(key)
+                    return self._runs[workload]
             bundle = self.suite.bundle(workload)
             self._runs[workload] = self._execute_bundle(bundle)
+            if store is not None:
+                store.save(key, self._runs[workload],
+                           meta={"workload": workload, "seed": self.seed,
+                                 "scale": self.scale.name})
         return self._runs[workload]
 
     def _execute_bundle(self, bundle: WorkloadBundle) -> list[QueryRun]:

@@ -23,6 +23,22 @@ from repro.learning.tree import RegressionTree, TreeParams
 FORMAT_VERSION = 1
 
 
+def require_format_version(payload: dict[str, Any], expected: int,
+                           what: str) -> None:
+    """Reject payloads written by an incompatible format version.
+
+    Shared by every on-disk format in the repo (selector models here,
+    trace manifests in :mod:`repro.trace.format`): versioned plain-JSON
+    envelopes, checked up front so a stale file fails loudly instead of
+    deserializing into garbage.
+    """
+    found = payload.get("format_version")
+    if found != expected:
+        raise ValueError(
+            f"unsupported {what} format version {found!r}; this build "
+            f"reads version {expected} — re-record or convert the file")
+
+
 def tree_to_dict(tree: RegressionTree) -> dict[str, Any]:
     if tree.feature is None:
         raise ValueError("cannot serialize an unfitted tree")
@@ -71,9 +87,7 @@ def mart_to_dict(model: MARTRegressor) -> dict[str, Any]:
 
 
 def mart_from_dict(payload: dict[str, Any]) -> MARTRegressor:
-    if payload.get("format_version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported model format "
-                         f"{payload.get('format_version')!r}")
+    require_format_version(payload, FORMAT_VERSION, "MART model")
     model = MARTRegressor(MARTParams(**payload["params"]))
     binner = QuantileBinner(model.params.max_bins)
     binner.edges_ = [np.asarray(edges, dtype=np.float64)
@@ -96,9 +110,7 @@ def selector_to_dict(selector: EstimatorSelector) -> dict[str, Any]:
 
 
 def selector_from_dict(payload: dict[str, Any]) -> EstimatorSelector:
-    if payload.get("format_version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported selector format "
-                         f"{payload.get('format_version')!r}")
+    require_format_version(payload, FORMAT_VERSION, "selector")
     selector = EstimatorSelector(payload["estimator_names"])
     selector.models = {name: mart_from_dict(m)
                        for name, m in payload["models"].items()}

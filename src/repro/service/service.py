@@ -36,6 +36,7 @@ from repro.plan.nodes import PlanNode
 from repro.service.scheduler import RoundRobinScheduler
 from repro.service.scoring import BatchedSelectorScorer
 from repro.service.session import QuerySession, SessionStatus
+from repro.trace.replay import ReplayExecutor
 
 
 @dataclass
@@ -97,6 +98,24 @@ class ProgressService:
         executor = QueryExecutor(db, config=config, cost_model=cost_model)
         session = QuerySession(len(self.sessions), executor, plan,
                                query_name, self.monitor)
+        self.sessions.append(session)
+        self.stats.sessions_submitted += 1
+        return session.session_id
+
+    def submit_replay(self, run: QueryRun,
+                      query_name: str | None = None) -> int:
+        """Register a *recorded* query for replay; returns its session id.
+
+        The session is scheduled, monitored and reported exactly like a
+        live one — each step replays one recorded observation instead of
+        one unit of engine work — so throughput experiments can run the
+        full service stack against recorded workloads (e.g. traces loaded
+        via :mod:`repro.trace`) without paying engine cost.  Report
+        streams are bit-identical to monitoring the original execution.
+        """
+        executor = ReplayExecutor(run)
+        session = QuerySession(len(self.sessions), executor, None,
+                               query_name or run.query_name, self.monitor)
         self.sessions.append(session)
         self.stats.sessions_submitted += 1
         return session.session_id

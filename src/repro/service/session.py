@@ -34,10 +34,16 @@ class SessionStatus(enum.Enum):
 
 
 class QuerySession:
-    """State of one monitored query managed by the service."""
+    """State of one monitored query managed by the service.
 
-    def __init__(self, session_id: int, executor: QueryExecutor, plan,
-                 query_name: str, monitor: ProgressMonitor):
+    ``executor`` is either a live :class:`QueryExecutor` or a
+    :class:`~repro.trace.replay.ReplayExecutor` over a recorded run — the
+    session only relies on the shared ``begin()`` / ``on_observation``
+    surface, so live and replayed queries are scheduled identically.
+    """
+
+    def __init__(self, session_id: int, executor: "QueryExecutor | object",
+                 plan, query_name: str, monitor: ProgressMonitor):
         self.session_id = session_id
         self.query_name = query_name
         self.status = SessionStatus.PENDING

@@ -1,0 +1,54 @@
+"""repro.trace — persistent execution traces: record once, replay everywhere.
+
+The paper's pipeline (§4.1 selection, §6 evaluation) consumes counter
+*trajectories*, not live queries, and capturing every estimator's signals
+costs no more than capturing one (§6.4).  This package makes the capture
+durable:
+
+* :mod:`repro.trace.format` — the versioned on-disk schema: a plain-JSON
+  manifest (plan/pipeline metadata) plus compressed ``.npz`` trajectory
+  matrices per run; replays are bit-identical to the execution.
+* :mod:`repro.trace.store` — trace directories and the content-keyed
+  :class:`TraceStore` behind the ``REPRO_TRACE_DIR`` cache used by the
+  experiment harness and all benchmarks.
+* :mod:`repro.trace.replay` — feeding recordings back through the *live*
+  monitoring code paths: :class:`ReplayExecutor` / :class:`ReplayHandle`
+  for :class:`~repro.service.service.ProgressService` sessions, and
+  :func:`replay_monitor` for solo monitoring.
+"""
+
+from repro.trace.format import (
+    TRACE_FORMAT_VERSION,
+    run_from_members,
+    run_to_manifest,
+    run_to_members,
+)
+from repro.trace.replay import (
+    ReplayContext,
+    ReplayExecutor,
+    ReplayHandle,
+    replay_monitor,
+)
+from repro.trace.store import (
+    TRACE_DIR_ENV,
+    TraceStore,
+    content_key,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TRACE_DIR_ENV",
+    "TraceStore",
+    "content_key",
+    "read_trace",
+    "write_trace",
+    "run_to_manifest",
+    "run_to_members",
+    "run_from_members",
+    "ReplayContext",
+    "ReplayExecutor",
+    "ReplayHandle",
+    "replay_monitor",
+]

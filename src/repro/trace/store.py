@@ -1,0 +1,146 @@
+"""Writing and reading trace directories, plus the content-keyed store.
+
+A *trace* is one directory::
+
+    <path>/
+      manifest.json          # format version, optional meta, run index
+      runs.npz               # all runs' trajectory members, r<i>_ prefixed
+
+:func:`write_trace` / :func:`read_trace` handle one directory; a
+:class:`TraceStore` manages a root of them, addressed by *content keys* —
+stable hashes of the parameters that produced the runs (workload, scale,
+seeds, format version), so a cache hit is only possible when the recording
+would be byte-identical anyway.  ``TraceStore.from_env()`` turns the
+``REPRO_TRACE_DIR`` environment variable into a store, which is how the
+experiment harness and every benchmark warm-start across processes.
+
+Writes go to a temp directory first and are renamed into place, so a
+killed process never leaves a half-written trace behind a valid manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.engine.run import QueryRun
+from repro.trace.format import (
+    TRACE_FORMAT_VERSION,
+    check_trace_version,
+    run_from_members,
+    run_to_manifest,
+    run_to_members,
+)
+
+MANIFEST_NAME = "manifest.json"
+RUNS_NAME = "runs.npz"
+
+#: Environment variable naming the shared trace cache directory.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+
+def content_key(payload: dict[str, Any]) -> str:
+    """Stable short hash of a JSON-able parameter dict."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def write_trace(path: str | Path, runs: list[QueryRun],
+                meta: dict[str, Any] | None = None) -> Path:
+    """Record ``runs`` into the trace directory ``path`` (replacing it).
+
+    Concurrent-writer safe for the content-keyed cache: each writer
+    stages into its own hidden temp directory and renames it into place,
+    so two processes cold-starting the same key never corrupt each other
+    — the loser of the rename race discards its staging copy (the
+    winner's content is equivalent by construction of the key).
+    """
+    if not runs:
+        raise ValueError("refusing to write an empty trace")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(dir=path.parent, prefix=f".{path.name}.tmp-"))
+    entries = []
+    members: dict[str, np.ndarray] = {}
+    for i, run in enumerate(runs):
+        entry = run_to_manifest(run)
+        entry["prefix"] = f"r{i:04d}_"
+        members.update(run_to_members(run, entry["prefix"]))
+        entries.append(entry)
+    np.savez_compressed(tmp / RUNS_NAME, **members)
+    manifest = {
+        "format_version": TRACE_FORMAT_VERSION,
+        "meta": meta or {},
+        "runs": entries,
+    }
+    (tmp / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
+    if path.exists():
+        shutil.rmtree(path)
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        # a concurrent writer renamed its copy in between: keep theirs
+        shutil.rmtree(tmp, ignore_errors=True)
+    return path
+
+
+def read_manifest(path: str | Path) -> dict[str, Any]:
+    """Load and version-check a trace directory's manifest."""
+    manifest = json.loads((Path(path) / MANIFEST_NAME).read_text())
+    check_trace_version(manifest)
+    return manifest
+
+
+def read_trace(path: str | Path) -> tuple[list[QueryRun], dict[str, Any]]:
+    """Replay every run recorded at ``path``; returns (runs, manifest)."""
+    path = Path(path)
+    manifest = read_manifest(path)
+    with np.load(path / RUNS_NAME) as members:
+        runs = [run_from_members(entry, members, entry["prefix"])
+                for entry in manifest["runs"]]
+    return runs, manifest
+
+
+class TraceStore:
+    """A directory of traces addressed by content key."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    @classmethod
+    def from_env(cls, var: str = TRACE_DIR_ENV) -> "TraceStore | None":
+        """The store named by ``REPRO_TRACE_DIR``, or None when unset."""
+        root = os.environ.get(var)
+        return cls(root) if root else None
+
+    def path(self, key: str) -> Path:
+        return self.root / key
+
+    def exists(self, key: str) -> bool:
+        return (self.path(key) / MANIFEST_NAME).is_file()
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.parent.name
+                      for p in self.root.glob(f"*/{MANIFEST_NAME}")
+                      if not p.parent.name.startswith("."))  # staging dirs
+
+    def save(self, key: str, runs: list[QueryRun],
+             meta: dict[str, Any] | None = None) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        return write_trace(self.path(key), runs, meta=meta)
+
+    def load(self, key: str) -> list[QueryRun]:
+        runs, _ = read_trace(self.path(key))
+        return runs
+
+    def manifest(self, key: str) -> dict[str, Any]:
+        return read_manifest(self.path(key))

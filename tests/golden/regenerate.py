@@ -1,0 +1,96 @@
+"""Regenerate the committed golden traces and their expectation files.
+
+Run from the repo root after any *intentional* change to the engine, the
+trace format or an estimator::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+One tiny recorded trace per workload family (TPC-H, TPC-DS, skewed
+"real"), each a real execution of two generated queries at miniature
+scale, plus an ``expected_<family>.npz`` holding the replayed estimator
+trajectories and TrainingData matrices.  ``tests/test_trace_golden.py``
+asserts exact (bitwise) equality against these files — so an accidental
+behaviour change in the engine, the trace codec or any estimator fails the
+suite with a pointer here, while an intentional one is a one-command
+regeneration whose diff code review can see.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.training import collect_training_data, runs_to_pipelines
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.features.vector import FeatureExtractor
+from repro.progress.registry import all_estimators
+from repro.trace import TRACE_FORMAT_VERSION, write_trace
+from repro.workloads.suite import SuiteScale, WorkloadSuite
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: family label -> suite workload recorded for it
+FAMILIES = {"tpch": "tpch_untuned", "tpcds": "tpcds", "real": "real1"}
+
+#: miniature scale: two queries per family over ~1k-row databases keeps
+#: each committed trace in the tens of kilobytes
+SCALE = SuiteScale(
+    tpch_rows=1_200, tpcds_rows=1_000, real1_rows=900, real2_rows=900,
+    tpch_queries=2, tpcds_queries=2, real1_queries=2, real2_queries=2,
+)
+SEED = 17
+EXECUTOR = dict(batch_size=256, memory_budget_bytes=float(64 << 10),
+                target_observations=50)
+MIN_OBSERVATIONS = 4
+
+
+def record_family(suite: WorkloadSuite, family: str, workload: str) -> None:
+    bundle = suite.bundle(workload)
+    runs = []
+    for i, query in enumerate(bundle.queries):
+        config = ExecutorConfig(**EXECUTOR, seed=SEED * 1_000 + i)
+        executor = QueryExecutor(bundle.db, config)
+        runs.append(executor.execute(bundle.planner.plan(query), query.name))
+    write_trace(GOLDEN_DIR / family, runs, meta={
+        "family": family,
+        "workload": workload,
+        "seed": SEED,
+        "min_observations": MIN_OBSERVATIONS,
+        "note": "golden regression trace — regenerate with "
+                "tests/golden/regenerate.py",
+    })
+
+    estimators = all_estimators(include_worst_case=True)
+    pipelines = runs_to_pipelines(runs, min_observations=MIN_OBSERVATIONS)
+    if not pipelines:
+        raise RuntimeError(f"family {family!r} produced no scorable "
+                           f"pipelines; enlarge SCALE")
+    expected: dict[str, np.ndarray] = {
+        "n_pipelines": np.array(len(pipelines)),
+        "format_version": np.array(TRACE_FORMAT_VERSION),
+    }
+    for i, pr in enumerate(pipelines):
+        expected[f"p{i}_true"] = pr.true_progress()
+        for est in estimators:
+            expected[f"p{i}_{est.name}"] = est.estimate(pr)
+    data = collect_training_data(
+        pipelines, estimators,
+        FeatureExtractor("dynamic", estimators=estimators))
+    expected["X"] = data.X
+    expected["errors_l1"] = data.errors_l1
+    expected["errors_l2"] = data.errors_l2
+    np.savez_compressed(GOLDEN_DIR / f"expected_{family}.npz", **expected)
+    print(f"{family:6s} <- {workload:13s}  runs={len(runs)}  "
+          f"pipelines={len(pipelines)}  "
+          f"observations={[len(r.times) for r in runs]}")
+
+
+def main() -> None:
+    suite = WorkloadSuite(SCALE, seed=SEED)
+    for family, workload in FAMILIES.items():
+        record_family(suite, family, workload)
+
+
+if __name__ == "__main__":
+    main()

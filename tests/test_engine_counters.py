@@ -1,6 +1,7 @@
 """Tests for the counter store and observation log."""
 
 import numpy as np
+import pytest
 
 from repro.engine.counters import CounterStore, ObservationLog, UNBOUNDED
 
@@ -49,3 +50,48 @@ class TestObservationLog:
         assert arrays["times"].tolist() == [0.5, 1.5, 2.5]
         assert arrays["K"][:, 0].tolist() == [1.0, 2.0, 3.0]
         assert log.last_time == 2.5
+
+    def test_snapshot_records_done_flags(self):
+        store = CounterStore(2)
+        log = ObservationLog(2)
+        log.snapshot(1.0, store, np.zeros(2), np.full(2, UNBOUNDED))
+        store.done[1] = True
+        log.snapshot(2.0, store, np.zeros(2), np.full(2, UNBOUNDED))
+        arrays = log.as_arrays()
+        assert arrays["D"].dtype == bool
+        assert arrays["D"].tolist() == [[False, False], [False, True]]
+
+    def test_empty_log_has_done_matrix(self):
+        arrays = ObservationLog(3).as_arrays()
+        assert arrays["D"].shape == (0, 3)
+        assert arrays["D"].dtype == bool
+
+
+class TestSnapshotValidation:
+    """A mis-sized bounds vector used to be stored silently and only blow
+    up much later inside estimator code; now it fails at the snapshot."""
+
+    def test_wrong_lb_shape_rejected(self):
+        log = ObservationLog(3)
+        with pytest.raises(ValueError, match=r"shape \(3,\)"):
+            log.snapshot(1.0, CounterStore(3), np.zeros(2),
+                         np.full(3, UNBOUNDED))
+
+    def test_wrong_ub_shape_rejected(self):
+        log = ObservationLog(3)
+        with pytest.raises(ValueError, match=r"shape \(3,\)"):
+            log.snapshot(1.0, CounterStore(3), np.zeros(3),
+                         np.full((3, 1), UNBOUNDED))
+
+    def test_mismatched_counter_store_rejected(self):
+        log = ObservationLog(3)
+        with pytest.raises(ValueError, match="tracks 2 nodes"):
+            log.snapshot(1.0, CounterStore(2), np.zeros(3),
+                         np.full(3, UNBOUNDED))
+
+    def test_nothing_stored_on_rejection(self):
+        log = ObservationLog(2)
+        with pytest.raises(ValueError):
+            log.snapshot(1.0, CounterStore(2), np.zeros(3), np.zeros(3))
+        assert len(log) == 0
+        assert log.as_arrays()["K"].shape == (0, 2)

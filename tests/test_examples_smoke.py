@@ -10,6 +10,10 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
+pytestmark = pytest.mark.slow  # execution-backed: runs an example end to end
+
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 SRC = EXAMPLES.parent / "src"
 

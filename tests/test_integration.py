@@ -9,6 +9,8 @@ best individual estimator; the oracle lower-bounds everything).
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # execution-backed: full workloads, training
+
 from repro.core.evaluate import (
     evaluate_fixed,
     evaluate_oracle,

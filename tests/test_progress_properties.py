@@ -2,19 +2,32 @@
 
 Hypothesis generates arbitrary monotone counter trajectories for a small
 operator zoo; every estimator must stay within [0, 1], never produce
-NaN/inf, and remain causal.
+NaN/inf, and remain causal.  A second family of properties drives the
+trajectories through the real :class:`ObservationLog` (snapshot → dense
+arrays → :class:`PipelineRun`), and GetNext-model estimators must be
+monotone whenever the counters are.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.engine.counters import UNBOUNDED, CounterStore, ObservationLog
 from repro.plan.nodes import Op
 from repro.progress.registry import all_estimators
 
 from helpers import make_pipeline_run, truncate_run
 
 ESTIMATORS = all_estimators(include_worst_case=True)
+
+#: Estimators whose value is a ratio of monotone GetNext/bound aggregates
+#: (the paper's GNM family plus [5]'s bound-interval estimators).  With
+#: fixed totals and monotone counters these must be monotone; LUO is
+#: excluded by design — it extrapolates from observed *speed*, which can
+#: legitimately revise progress downward.
+MONOTONE_NAMES = ("dne", "tgn", "batch_dne", "dne_seek", "tgn_int",
+                  "pmax", "safe")
+MONOTONE_ESTIMATORS = [e for e in ESTIMATORS if e.name in MONOTONE_NAMES]
 
 
 @st.composite
@@ -72,3 +85,58 @@ def test_driver_fraction_properties(pr):
     fraction = pr.driver_fraction()
     assert ((0.0 <= fraction) & (fraction <= 1.0)).all()
     assert (np.diff(fraction) >= -1e-12).all()
+
+
+@given(random_pipeline())
+@settings(max_examples=40, deadline=None)
+def test_getnext_estimators_monotone_under_monotone_counters(pr):
+    assert MONOTONE_ESTIMATORS, "estimator registry lost the GNM family"
+    for estimator in MONOTONE_ESTIMATORS:
+        values = estimator.estimate(pr)
+        assert (np.diff(values) >= -1e-9).all(), estimator.name
+
+
+@st.composite
+def random_observation_log(draw):
+    """Random monotone trajectories recorded through the real log path."""
+    ops = [Op.FILTER, Op.INDEX_SCAN]
+    m = len(ops)
+    n_obs = draw(st.integers(2, 15))
+    store = CounterStore(m)
+    log = ObservationLog(m)
+    now = 0.0
+    totals = np.array([draw(st.floats(1.0, 1e4)) for _ in range(m)])
+    for _ in range(n_obs):
+        now += draw(st.floats(0.01, 5.0))
+        store.K += np.array([draw(st.floats(0.0, 1e3)) for _ in range(m)])
+        store.R += np.array([draw(st.floats(0.0, 1e5)) for _ in range(m)])
+        # per node, either a finite bound (K plus random slack — possibly
+        # tight) or the unbounded sentinel, so bound-interval estimators
+        # see both regimes
+        slack = np.array([
+            draw(st.one_of(st.floats(0.0, 1e4), st.just(UNBOUNDED)))
+            for _ in range(m)])
+        log.snapshot(now, store, store.K.copy(),
+                     np.minimum(store.K + slack, UNBOUNDED))
+    return log, totals
+
+
+@given(random_observation_log())
+@settings(max_examples=25, deadline=None)
+def test_estimators_defined_at_every_log_snapshot(log_and_totals):
+    """Every estimator yields a finite [0, 1] value at every recorded
+    snapshot of an :class:`ObservationLog`, however ragged the counters."""
+    log, totals = log_and_totals
+    arrays = log.as_arrays()
+    assert arrays["K"].shape == (len(log), log.n_nodes)
+    assert arrays["D"].shape == (len(log), log.n_nodes)
+    pr = make_pipeline_run([Op.FILTER, Op.INDEX_SCAN], arrays["K"],
+                           parents=[-1, 0], drivers=[1],
+                           N=np.maximum(totals, arrays["K"][-1]),
+                           times=arrays["times"],
+                           LB=arrays["LB"], UB=arrays["UB"])
+    for estimator in ESTIMATORS:
+        values = estimator.estimate(pr)
+        assert values.shape == (pr.n_observations,), estimator.name
+        assert np.isfinite(values).all(), estimator.name
+        assert ((0.0 <= values) & (values <= 1.0)).all(), estimator.name

@@ -11,6 +11,8 @@ computes.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # execution-backed: live multi-query runs
+
 from repro.core.monitor import ProgressMonitor
 from repro.core.training import collect_training_data, train_selector
 from repro.engine.executor import ExecutorConfig, QueryExecutor

@@ -1,0 +1,82 @@
+"""Golden-trace regression suite.
+
+One tiny committed trace per workload family (TPC-H, TPC-DS, skewed
+"real" — see ``tests/golden/regenerate.py``).  Replaying them must
+reproduce the committed estimator trajectories and TrainingData matrices
+*exactly*: these tests pin down the engine's recorded semantics, the trace
+codec and every estimator's arithmetic at once.  If one fails after an
+intentional change, regenerate with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.training import collect_training_data, runs_to_pipelines
+from repro.features.vector import FeatureExtractor
+from repro.progress.registry import all_estimators
+from repro.trace import TRACE_FORMAT_VERSION, read_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+FAMILIES = ("tpch", "tpcds", "real")
+
+ESTIMATORS = all_estimators(include_worst_case=True)
+
+
+def _load(family):
+    runs, manifest = read_trace(GOLDEN_DIR / family)
+    expected = np.load(GOLDEN_DIR / f"expected_{family}.npz")
+    pipelines = runs_to_pipelines(
+        runs, min_observations=manifest["meta"]["min_observations"])
+    return runs, manifest, pipelines, expected
+
+
+def test_all_families_present():
+    for family in FAMILIES:
+        assert (GOLDEN_DIR / family / "manifest.json").is_file(), family
+        assert (GOLDEN_DIR / f"expected_{family}.npz").is_file(), family
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestGoldenTrace:
+    def test_trace_loads_and_is_scorable(self, family):
+        runs, manifest, pipelines, expected = _load(family)
+        assert manifest["format_version"] == TRACE_FORMAT_VERSION
+        assert int(expected["format_version"]) == TRACE_FORMAT_VERSION
+        assert len(runs) >= 2
+        assert len(pipelines) == int(expected["n_pipelines"]) > 0
+        for run in runs:
+            assert run.D is not None
+            assert len(run.times) >= 10
+
+    def test_estimator_trajectories_match_exactly(self, family):
+        _, _, pipelines, expected = _load(family)
+        for i, pr in enumerate(pipelines):
+            assert np.array_equal(pr.true_progress(),
+                                  expected[f"p{i}_true"]), (family, i)
+            for est in ESTIMATORS:
+                got = est.estimate(pr)
+                want = expected[f"p{i}_{est.name}"]
+                assert np.array_equal(got, want), (
+                    f"{family} pipeline {i}: estimator {est.name!r} "
+                    f"diverged from the golden trajectory; if intentional, "
+                    f"regenerate via tests/golden/regenerate.py")
+
+    def test_training_data_matches_exactly(self, family):
+        _, _, pipelines, expected = _load(family)
+        data = collect_training_data(
+            pipelines, ESTIMATORS,
+            FeatureExtractor("dynamic", estimators=ESTIMATORS))
+        assert np.array_equal(data.X, expected["X"]), family
+        assert np.array_equal(data.errors_l1, expected["errors_l1"]), family
+        assert np.array_equal(data.errors_l2, expected["errors_l2"]), family
+
+    def test_expectations_cover_every_estimator(self, family):
+        _, _, pipelines, expected = _load(family)
+        names = set(expected.files)
+        for i in range(len(pipelines)):
+            for est in ESTIMATORS:
+                assert f"p{i}_{est.name}" in names, (family, i, est.name)
