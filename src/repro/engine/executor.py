@@ -81,6 +81,17 @@ class ExecContext:
         for node in self._nodes:
             if node.table is not None:
                 self._table_rows[node.node_id] = db.table(node.table).n_rows
+        # Probe-side nodes of nested-loop joins, bottom-up, paired with
+        # their join's outer child: duplicate probe keys fan a seek out
+        # past its table's cardinality, so these nodes get their own
+        # bound rule in _compute_bounds.
+        self._probe_side: list[tuple[PlanNode, int]] = []
+        for node in self._nodes:
+            if node.op is Op.NESTED_LOOP_JOIN:
+                outer_id = node.children[0].node_id
+                chain = list(node.children[1].walk())
+                self._probe_side.extend(
+                    (inner, outer_id) for inner in reversed(chain))
         self._tick = self._initial_tick()
         self._next_obs = 0.0
 
@@ -201,6 +212,21 @@ class ExecContext:
                 ub[i] = min(max(outer, 1.0) * max(inner, 1.0), UNBOUNDED)
             else:  # pragma: no cover - defensive
                 ub[i] = UNBOUNDED
+        # Second pass: nested-loop probe sides.  An inner INDEX_SEEK is
+        # driven once per outer row, so its total is bounded by
+        # outer-bound × table rows, not by the table alone (duplicate
+        # probe keys revisit rows); residual FILTERs inherit.  The outer
+        # subtree precedes the inner in preorder, so its bound is final
+        # by the time this pass runs.
+        for node, outer_id in self._probe_side:
+            i = node.node_id
+            if done[i]:
+                continue
+            if node.op is Op.INDEX_SEEK:
+                ub[i] = min(max(ub[outer_id], 1.0)
+                            * max(self._table_rows[i], 1.0), UNBOUNDED)
+            else:  # residual FILTER above the seek
+                ub[i] = ub[node.children[0].node_id]
         np.minimum(ub, UNBOUNDED, out=ub)
         np.maximum(ub, lb, out=ub)
         return lb, ub

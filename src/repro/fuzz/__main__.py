@@ -1,0 +1,53 @@
+"""CLI: run (or reproduce) fuzz scenarios.
+
+Examples
+--------
+Run one scenario::
+
+    python -m repro.fuzz --seed 1234
+
+Reproduce a CI failure (the oracle message prints this exact line)::
+
+    python -m repro.fuzz --preset ci-slow --seed 2017
+
+Sweep a seed block::
+
+    python -m repro.fuzz --preset ci-fast --seed 100 --scenarios 25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.harness import PRESETS, preset, run_fuzz
+from repro.fuzz.oracle import OracleViolation
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Seeded ad-hoc workload fuzzer with a cross-layer "
+                    "differential oracle.")
+    parser.add_argument("--seed", type=int, required=True,
+                        help="first scenario seed")
+    parser.add_argument("--scenarios", type=int, default=1,
+                        help="number of consecutive seeds to run (default 1)")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default",
+                        help="scenario-shaping preset (default 'default')")
+    args = parser.parse_args(argv)
+
+    config = preset(args.preset)
+    seeds = range(args.seed, args.seed + args.scenarios)
+    try:
+        report = run_fuzz(seeds, config,
+                          on_scenario=lambda s: print(f"ok  {s.describe()}"))
+    except OracleViolation as violation:
+        print(f"FAIL {violation}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

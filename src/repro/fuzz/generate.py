@@ -1,0 +1,290 @@
+"""Seeded generation of random schemas, skewed databases and ad-hoc queries.
+
+The static workload families (TPC-H, TPC-DS, the two "real" stand-ins)
+cover a fixed, hand-written scenario space.  The fuzzer opens an unbounded
+one: every seed deterministically yields a fresh star/snowflake schema, a
+Zipf-skewed database over it (reusing :mod:`repro.datagen.zipf`, the same
+sampling the static generators use), and a batch of ad-hoc
+:class:`~repro.query.logical.QuerySpec` queries — multi-way joins through
+the schema's foreign-key tree, filters drawn from the actual column
+domains, grouped and scalar aggregates, ORDER BY and TOP.
+
+Everything is derived from one ``numpy`` generator seeded by the caller,
+so a failing scenario is reproducible from its seed alone (see
+:mod:`repro.fuzz.harness` for the repro command printed on oracle
+failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.schema import Column, DatabaseSchema, TableSchema
+from repro.catalog.table import Database, Table
+from repro.datagen.zipf import skewed_fanout, zipf_sample
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.predicates import FilterSpec
+
+_AGG_FUNCS = ("sum", "avg", "min", "max")
+_INT_FILTER_OPS = ("==", "!=", "<", "<=", ">", ">=", "between", "in")
+_FLOAT_FILTER_OPS = ("<", "<=", ">", ">=", "between")
+
+
+@dataclass(frozen=True)
+class ColumnDomain:
+    """A generated column plus the value domain filters may draw from."""
+
+    table: str
+    column: str
+    dtype: str          # "int64" | "float64"
+    lo: float
+    hi: float
+    groupable: bool = False
+
+
+@dataclass
+class FuzzSchemaInfo:
+    """Query-generation metadata for one fuzzed schema.
+
+    The join graph is a tree rooted at the fact table: one edge per
+    dimension, plus optional dimension -> sub-dimension edges (the
+    snowflake chains that push queries past fact-dim star joins).
+    """
+
+    fact: str
+    dims: list[str] = field(default_factory=list)
+    #: table -> (near_column, far_table, far_key); ``near`` is the side
+    #: closer to the fact, so edges always point away from the root
+    edges: dict[str, tuple[str, str, str]] = field(default_factory=dict)
+    sub_of: dict[str, str] = field(default_factory=dict)  # dim -> sub-dim
+    filterables: dict[str, list[ColumnDomain]] = field(default_factory=dict)
+    measures: list[ColumnDomain] = field(default_factory=list)
+
+    def groupables(self, tables: list[str]) -> list[ColumnDomain]:
+        return [d for t in tables for d in self.filterables.get(t, [])
+                if d.groupable]
+
+
+def _add_filterable(info: FuzzSchemaInfo, dom: ColumnDomain) -> None:
+    info.filterables.setdefault(dom.table, []).append(dom)
+
+
+def generate_fuzz_database(seed: int, rows: int = 800
+                           ) -> tuple[Database, FuzzSchemaInfo]:
+    """One random star/snowflake database, fully determined by ``seed``.
+
+    ``rows`` sizes the fact table; dimension and sub-dimension sizes, the
+    number of tables, per-column domains and all skew factors are drawn
+    from the seeded generator.
+    """
+    if rows < 16:
+        raise ValueError("fuzz fact table needs at least 16 rows")
+    rng = np.random.default_rng(seed)
+    db = Database(schema=DatabaseSchema(name=f"fuzz{seed}"))
+    info = FuzzSchemaInfo(fact="t0")
+
+    n_dims = int(rng.integers(2, 6))
+    fact_fk_data: dict[str, np.ndarray] = {}
+    fact_fk_cols: list[Column] = []
+    for i in range(1, n_dims + 1):
+        name = f"t{i}"
+        n_dim = int(rng.integers(12, max(24, rows // 3) + 1))
+        key = f"{name}_key"
+        columns = [Column(key)]
+        data: dict[str, np.ndarray] = {key: np.arange(n_dim)}
+        for j in range(int(rng.integers(1, 4))):
+            col = f"{name}_a{j}"
+            domain = int(rng.integers(2, 36))
+            values = zipf_sample(rng, n_dim, domain,
+                                 z=float(rng.uniform(0.0, 1.5)),
+                                 shuffle_ranks=True)
+            columns.append(Column(col, width=int(rng.choice([8, 8, 20, 30]))))
+            data[col] = values
+            _add_filterable(info, ColumnDomain(name, col, "int64",
+                                               0, domain - 1, groupable=True))
+        if rng.random() < 0.4:
+            col = f"{name}_v"
+            lo = float(rng.uniform(0.0, 5.0))
+            hi = lo + float(rng.uniform(1.0, 100.0))
+            columns.append(Column(col, "float64"))
+            data[col] = rng.uniform(lo, hi, n_dim).round(2)
+            _add_filterable(info, ColumnDomain(name, col, "float64", lo, hi))
+        if rng.random() < 0.5:
+            sub = f"{name}s"
+            n_sub = int(rng.integers(6, 41))
+            sub_key = f"{sub}_key"
+            sub_attr = f"{sub}_a0"
+            sub_domain = int(rng.integers(2, 12))
+            db.add(Table(TableSchema(sub, (
+                Column(sub_key),
+                Column(sub_attr, width=int(rng.choice([8, 20]))),
+            ), primary_key=(sub_key,)), {
+                sub_key: np.arange(n_sub),
+                sub_attr: zipf_sample(rng, n_sub, sub_domain,
+                                      z=float(rng.uniform(0.0, 1.2)),
+                                      shuffle_ranks=True),
+            }, clustered_on=sub_key))
+            _add_filterable(info, ColumnDomain(sub, sub_attr, "int64",
+                                               0, sub_domain - 1,
+                                               groupable=True))
+            fk = f"{name}_fk"
+            columns.append(Column(fk))
+            data[fk] = zipf_sample(rng, n_dim, n_sub,
+                                   z=float(rng.uniform(0.0, 1.2)),
+                                   shuffle_ranks=True)
+            info.edges[sub] = (fk, sub, sub_key)
+            info.sub_of[name] = sub
+            _add_filterable(info, ColumnDomain(name, fk, "int64",
+                                               0, n_sub - 1))
+        db.add(Table(TableSchema(name, tuple(columns), primary_key=(key,)),
+                     data, clustered_on=key))
+        info.dims.append(name)
+        fk_col = f"t0_fk{i}"
+        fact_fk_cols.append(Column(fk_col))
+        fact_fk_data[fk_col] = skewed_fanout(rng, n_dim, rows,
+                                             z=float(rng.uniform(0.0, 1.6)))
+        info.edges[name] = (fk_col, name, key)
+
+    quantity = 1 + zipf_sample(rng, rows, 24, 1.0, shuffle_ranks=True)
+    amount = (rng.uniform(0.5, 30.0, rows) * quantity).round(2)
+    attr_domain = int(rng.integers(3, 30))
+    attr = zipf_sample(rng, rows, attr_domain,
+                       z=float(rng.uniform(0.0, 1.4)), shuffle_ranks=True)
+    fact_columns = tuple(fact_fk_cols + [
+        Column("t0_q"),
+        Column("t0_amt", "float64", width=int(rng.choice([8, 16]))),
+        Column("t0_a0", width=int(rng.choice([8, 20]))),
+    ])
+    fact_data = dict(fact_fk_data)
+    fact_data.update({"t0_q": quantity, "t0_amt": amount, "t0_a0": attr})
+    fact = Table(TableSchema("t0", fact_columns), fact_data)
+    if rng.random() < 0.5:
+        fact.cluster_on(fact_fk_cols[int(rng.integers(0, n_dims))].name)
+    db.add(fact)
+
+    _add_filterable(info, ColumnDomain("t0", "t0_a0", "int64",
+                                       0, attr_domain - 1, groupable=True))
+    _add_filterable(info, ColumnDomain("t0", "t0_q", "int64", 1, 24))
+    info.measures = [
+        ColumnDomain("t0", "t0_q", "int64", 1, 24),
+        ColumnDomain("t0", "t0_amt", "float64", 0.5, 30.0 * 24),
+    ]
+    return db, info
+
+
+# ---------------------------------------------------------------------------
+# query generation
+# ---------------------------------------------------------------------------
+
+def _random_filter(rng: np.random.Generator, dom: ColumnDomain) -> FilterSpec:
+    if dom.dtype == "int64":
+        lo, hi = int(dom.lo), int(dom.hi)
+        op = str(rng.choice(_INT_FILTER_OPS))
+        if op == "between":
+            a, b = sorted(int(rng.integers(lo, hi + 1)) for _ in range(2))
+            return FilterSpec(dom.table, dom.column, op, (a, b))
+        if op == "in":
+            k = int(rng.integers(2, 5))
+            values = tuple(sorted({int(v) for v in
+                                   rng.integers(lo, hi + 1, size=k)}))
+            return FilterSpec(dom.table, dom.column, op, values)
+        return FilterSpec(dom.table, dom.column, op,
+                          int(rng.integers(lo, hi + 1)))
+    op = str(rng.choice(_FLOAT_FILTER_OPS))
+    if op == "between":
+        a, b = sorted(float(rng.uniform(dom.lo, dom.hi)) for _ in range(2))
+        return FilterSpec(dom.table, dom.column, op,
+                          (round(a, 3), round(b, 3)))
+    return FilterSpec(dom.table, dom.column, op,
+                      round(float(rng.uniform(dom.lo, dom.hi)), 3))
+
+
+def _one_query(rng: np.random.Generator, info: FuzzSchemaInfo,
+               name: str) -> QuerySpec:
+    tables = [info.fact]
+    joins: list[JoinEdge] = []
+    if rng.random() >= 0.12:  # multi-way join (the common case)
+        k = int(rng.integers(1, len(info.dims) + 1))
+        picks = sorted(rng.choice(len(info.dims), size=k, replace=False))
+        for p in picks:
+            dim = info.dims[p]
+            near_col, far, far_key = info.edges[dim]
+            tables.append(dim)
+            joins.append(JoinEdge(info.fact, near_col, far, far_key))
+            sub = info.sub_of.get(dim)
+            if sub is not None and rng.random() < 0.5:
+                near_col, far, far_key = info.edges[sub]
+                tables.append(sub)
+                joins.append(JoinEdge(dim, near_col, sub, far_key))
+
+    candidates = [d for t in tables for d in info.filterables.get(t, [])]
+    filters: list[FilterSpec] = []
+    if candidates:
+        want = int(rng.integers(0, min(len(candidates), 3) + 1))
+        for p in rng.choice(len(candidates), size=want, replace=False):
+            filters.append(_random_filter(rng, candidates[int(p)]))
+
+    group_by: list[str] = []
+    aggregates: list[Aggregate] = []
+    order_by: list[str] = []
+    top: int | None = None
+    if rng.random() < 0.6:  # aggregate query
+        group_candidates = info.groupables(tables)
+        if group_candidates and rng.random() < 0.85:
+            pick = group_candidates[int(rng.integers(0, len(group_candidates)))]
+            group_by = [pick.column]
+        aggregates.append(Aggregate("count"))
+        agg_candidates = list(info.measures) + [
+            d for t in tables[1:] for d in info.filterables.get(t, [])
+            if d.dtype == "float64"]
+        for dom in agg_candidates:
+            if rng.random() < 0.55:
+                aggregates.append(Aggregate(str(rng.choice(_AGG_FUNCS)),
+                                            dom.column))
+        if group_by:
+            if rng.random() < 0.35:
+                # TOP queries order by the (integer) group key so the
+                # reference's top-k boundary is well defined up to ties
+                top = int(rng.integers(3, 41))
+                order_by = list(group_by)
+            elif rng.random() < 0.7:
+                order_by = ([aggregates[-1].output_name]
+                            if rng.random() < 0.5 else list(group_by))
+    else:  # select-project-join
+        int_columns = [d for d in candidates if d.dtype == "int64"]
+        if int_columns and rng.random() < 0.6:
+            n_keys = int(rng.integers(1, min(len(int_columns), 2) + 1))
+            picks = rng.choice(len(int_columns), size=n_keys, replace=False)
+            order_by = [int_columns[int(p)].column for p in picks]
+        if rng.random() < 0.35:
+            top = int(rng.integers(5, 201))
+    return QuerySpec(
+        name=name,
+        tables=tables,
+        joins=joins,
+        filters=filters,
+        group_by=group_by,
+        aggregates=aggregates,
+        order_by=order_by,
+        top=top,
+    )
+
+
+def generate_fuzz_queries(info: FuzzSchemaInfo, n_queries: int,
+                          seed: int, name_prefix: str = "fuzz"
+                          ) -> list[QuerySpec]:
+    """``n_queries`` ad-hoc specs over one fuzzed schema (deterministic)."""
+    rng = np.random.default_rng(seed)
+    return [_one_query(rng, info, f"{name_prefix}_{seed}_{i}")
+            for i in range(n_queries)]
+
+
+def generate_fuzz_workload(rows: int, n_queries: int, seed: int
+                           ) -> tuple[Database, FuzzSchemaInfo,
+                                      list[QuerySpec]]:
+    """Database + queries in one call (the ``adhoc_fuzz`` suite family)."""
+    db, info = generate_fuzz_database(seed, rows)
+    queries = generate_fuzz_queries(info, n_queries, seed + 1)
+    return db, info, queries

@@ -1,0 +1,273 @@
+"""Driving fuzz scenarios end to end, and reproducing failures.
+
+One *scenario* is fully determined by ``(preset, seed)``: a random schema
+and skewed database, a batch of ad-hoc queries, a random physical design,
+randomized engine knobs (batch size, a memory grant small enough to force
+spills regularly, observation cadence), one monitored live execution per
+query, and all four oracle layers of :mod:`repro.fuzz.oracle` — engine
+output vs. the NumPy reference, per-snapshot progress invariants, trace
+round-trip/replay parity, and pooled-service parity across the scenario's
+whole query batch.
+
+``python -m repro.fuzz --preset <name> --seed <seed>`` re-runs any
+scenario; oracle failures embed exactly that command in their message, so
+a red CI log line is a one-paste local reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.catalog.statistics import build_statistics
+from repro.core.monitor import MonitorState, ProgressMonitor
+from repro.core.training import collect_training_data, train_selector
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.engine.run import QueryRun
+from repro.features.vector import FeatureExtractor
+from repro.fuzz.generate import generate_fuzz_database, generate_fuzz_queries
+from repro.fuzz.oracle import (
+    OracleContext,
+    check_engine_output,
+    check_progress_invariants,
+    check_service_parity,
+    check_trace_roundtrip,
+)
+from repro.fuzz.reference import evaluate_reference
+from repro.learning.mart import MARTParams
+from repro.optimizer.physical_design import (
+    DesignLevel,
+    apply_design,
+    design_for_workload,
+)
+from repro.optimizer.planner import Planner
+from repro.progress.registry import all_estimators
+from repro.trace.replay import replay_monitor
+
+_DESIGN_LEVELS = (DesignLevel.UNTUNED, DesignLevel.PARTIAL, DesignLevel.FULL)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Scenario-shaping knobs; ``name`` must stay CLI-addressable."""
+
+    name: str = "default"
+    rows_lo: int = 250
+    rows_hi: int = 900
+    queries_lo: int = 2
+    queries_hi: int = 4
+    target_observations: int = 60
+    #: train tiny MART selectors on the scenario's own pipelines and
+    #: re-check replay + service parity under batched selector scoring
+    train_selectors: bool = False
+    selector_trees: int = 6
+    selector_leaves: int = 4
+
+
+PRESETS: dict[str, FuzzConfig] = {
+    "default": FuzzConfig(),
+    "ci-fast": FuzzConfig(name="ci-fast", rows_lo=200, rows_hi=600,
+                          queries_lo=2, queries_hi=3,
+                          target_observations=50),
+    "ci-slow": FuzzConfig(name="ci-slow", rows_lo=400, rows_hi=1500,
+                          queries_lo=3, queries_hi=5,
+                          target_observations=90, train_selectors=True),
+}
+
+#: The four oracle layers a scenario must pass.
+ORACLE_LAYERS = ("output", "invariants", "trace", "service")
+
+
+def repro_command(seed: int, config: FuzzConfig) -> str:
+    """The shell command that re-runs one scenario."""
+    return f"python -m repro.fuzz --preset {config.name} --seed {seed}"
+
+
+@dataclass
+class ScenarioReport:
+    """Summary of one passed scenario (raises before existing otherwise)."""
+
+    seed: int
+    preset: str
+    rows: int
+    n_queries: int
+    n_pipelines: int
+    n_reports: int
+    spill_events: int
+    design: str
+    checks: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (f"seed={self.seed:<6} rows={self.rows:<5} "
+                f"queries={self.n_queries} pipelines={self.n_pipelines:<3} "
+                f"reports={self.n_reports:<4} spills={self.spill_events:<3} "
+                f"design={self.design}")
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate over a batch of scenarios."""
+
+    scenarios: list[ScenarioReport] = field(default_factory=list)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    def layer_checks(self) -> dict[str, int]:
+        totals = {layer: 0 for layer in ORACLE_LAYERS}
+        for s in self.scenarios:
+            for layer, n in s.checks.items():
+                totals[layer] += n
+        return totals
+
+    def describe(self) -> str:
+        checks = "  ".join(f"{k}:{v}" for k, v in self.layer_checks().items())
+        return (f"{self.n_scenarios} scenarios, 0 violations "
+                f"(oracle checks — {checks})")
+
+
+def _monitored_execute(db, plan, query_name: str, config: ExecutorConfig,
+                       monitor: ProgressMonitor):
+    """Live execution with solo monitoring *and* output collection.
+
+    Mirrors :meth:`ProgressMonitor.run` but reuses the single execution
+    for oracle layer 1 (``collect_output``) — the report stream is
+    bit-identical to what ``monitor.run`` would produce for this config.
+    """
+    reports = []
+    state = MonitorState()
+
+    def observe(ectx):
+        state.ticks += 1
+        if state.ticks % monitor.refresh_every:
+            return
+        reports.append(monitor.finalize(monitor.snapshot(ectx, state), state))
+
+    executor = QueryExecutor(db, config, on_observation=observe)
+    run = executor.execute(plan, query_name=query_name)
+    return run, reports
+
+
+def _train_scenario_monitor(runs: list[QueryRun], config: FuzzConfig,
+                            refresh_every: int) -> ProgressMonitor | None:
+    """Tiny MART selectors trained on the scenario's own pipelines."""
+    pipelines = [pr for run in runs
+                 for pr in run.pipeline_runs(min_observations=4)]
+    if len(pipelines) < 4:
+        return None
+    estimators = all_estimators()
+    params = MARTParams(n_trees=config.selector_trees,
+                        max_leaves=config.selector_leaves)
+    static_data = collect_training_data(pipelines, estimators,
+                                        FeatureExtractor("static"))
+    dynamic_data = collect_training_data(
+        pipelines, estimators,
+        FeatureExtractor("dynamic", estimators=estimators))
+    return ProgressMonitor(
+        static_selector=train_selector(static_data, params),
+        dynamic_selector=train_selector(dynamic_data, params),
+        refresh_every=refresh_every)
+
+
+def run_scenario(seed: int, config: FuzzConfig | None = None
+                 ) -> ScenarioReport:
+    """Build, execute and oracle-check one scenario; raises
+    :class:`~repro.fuzz.oracle.OracleViolation` on any failure."""
+    config = config or PRESETS["default"]
+    repro = repro_command(seed, config)
+    rng = np.random.default_rng(seed)
+    rows = int(rng.integers(config.rows_lo, config.rows_hi + 1))
+    n_queries = int(rng.integers(config.queries_lo, config.queries_hi + 1))
+    db, info = generate_fuzz_database(seed * 7919 + 1, rows)
+    queries = generate_fuzz_queries(info, n_queries, seed * 7919 + 2)
+    level = _DESIGN_LEVELS[int(rng.integers(0, len(_DESIGN_LEVELS)))]
+    design = design_for_workload(db, queries, level)
+    apply_design(db, design)
+    planner = Planner(db, build_statistics(db))
+
+    # engine knobs: memory grants small enough to force spills regularly
+    memory_budget = float(int(rng.integers(8, 49)) << 10)
+    batch_size = int(rng.choice([64, 128, 256]))
+    refresh_every = int(rng.integers(1, 4))
+    monitor = ProgressMonitor(refresh_every=refresh_every)
+
+    checks = {layer: 0 for layer in ORACLE_LAYERS}
+    runs: list[QueryRun] = []
+    streams: list[list] = []
+    for i, query in enumerate(queries):
+        ctx = OracleContext(seed=seed, repro=repro, query=query.name)
+        plan = planner.plan(query)
+        exec_config = ExecutorConfig(
+            batch_size=batch_size,
+            memory_budget_bytes=memory_budget,
+            target_observations=config.target_observations,
+            seed=seed * 1_000 + i,
+            collect_output=True)
+        run, reports = _monitored_execute(db, plan, query.name,
+                                          exec_config, monitor)
+        check_engine_output(run, evaluate_reference(db, query), query, ctx)
+        checks["output"] += 1
+        check_progress_invariants(run, ctx)
+        checks["invariants"] += 1
+        check_trace_roundtrip(run, reports, monitor, ctx)
+        checks["trace"] += 1
+        runs.append(run)
+        streams.append(reports)
+
+    ctx = OracleContext(seed=seed, repro=repro)
+    slice_steps = int(rng.integers(1, 9))
+    max_live = int(rng.integers(1, len(runs) + 1))
+    check_service_parity(runs, streams, monitor, ctx,
+                         slice_steps=slice_steps, max_live=max_live)
+    checks["service"] += 1
+
+    if config.train_selectors:
+        trained = _train_scenario_monitor(runs, config, refresh_every)
+        if trained is not None:
+            solo = [replay_monitor(trained, run) for run in runs]
+            for run, reports in zip(runs, solo):
+                check_trace_roundtrip(
+                    run, reports, trained,
+                    OracleContext(seed=seed, repro=repro,
+                                  query=run.query_name))
+                checks["trace"] += 1
+            check_service_parity(runs, solo, trained, ctx,
+                                 slice_steps=slice_steps, max_live=max_live)
+            checks["service"] += 1
+
+    return ScenarioReport(
+        seed=seed,
+        preset=config.name,
+        rows=rows,
+        n_queries=len(runs),
+        n_pipelines=sum(len(r.pipeline_runs(min_observations=3))
+                        for r in runs),
+        n_reports=sum(len(s) for s in streams),
+        spill_events=sum(r.spill_events for r in runs),
+        design=design.name,
+        checks=checks,
+    )
+
+
+def run_fuzz(seeds, config: FuzzConfig | None = None,
+             on_scenario=None) -> FuzzReport:
+    """Run a batch of scenarios; the first oracle violation propagates."""
+    config = config or PRESETS["default"]
+    report = FuzzReport()
+    for seed in seeds:
+        scenario = run_scenario(int(seed), config)
+        report.scenarios.append(scenario)
+        if on_scenario is not None:
+            on_scenario(scenario)
+    return report
+
+
+def preset(name: str, **overrides) -> FuzzConfig:
+    """A named preset, optionally tweaked (keeps the CLI-addressable name)."""
+    if name not in PRESETS:
+        raise KeyError(f"unknown fuzz preset {name!r}; "
+                       f"choose from {sorted(PRESETS)}")
+    base = PRESETS[name]
+    return replace(base, **overrides) if overrides else base

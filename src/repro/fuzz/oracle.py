@@ -1,0 +1,260 @@
+"""The fuzzer's cross-layer differential oracle.
+
+Every fuzz scenario is checked on four independent layers, each of which
+pins a different subsystem against a different source of truth:
+
+1. **Output** — the engine's collected result rows must match the naive
+   NumPy reference evaluator (:mod:`repro.fuzz.reference`).
+2. **Progress invariants** — at every :class:`ObservationLog` snapshot the
+   recorded trajectories must be internally consistent (monotone counters,
+   sane bounds, done-flag latching), every registered estimator must be
+   defined, the GetNext-model family must be monotone, and the worst-case
+   estimators must stay inside their feasible interval.
+3. **Trace round-trip** — recording the run and reading it back must be
+   bit-identical, and a monitor replayed from the recording must emit the
+   bit-identical report stream the live monitor emitted.
+4. **Service parity** — scheduling the same runs through the pooled
+   :class:`~repro.service.service.ProgressService` (time-sliced, batched
+   selector scoring) must reproduce each solo report stream bit-identically.
+
+Violations raise :class:`OracleViolation`, an ``AssertionError`` whose
+message always carries the scenario's seed and the exact shell command
+that reproduces it — copy it straight out of a CI log.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.monitor import ProgressMonitor, ProgressReport
+from repro.engine.counters import UNBOUNDED
+from repro.engine.run import QueryRun
+from repro.fuzz.reference import ReferenceResult, compare_output
+from repro.progress.registry import all_estimators
+from repro.query.logical import QuerySpec
+from repro.service import ProgressService
+from repro.trace.replay import replay_monitor
+from repro.trace.store import read_trace, write_trace
+
+_EPS = 1e-9
+
+#: Estimators whose value is a ratio of monotone GetNext aggregates over
+#: *fixed* totals; on real (executed) trajectories these must be monotone.
+#: TGN is excluded here (its denominator tracks the moving bounds), as are
+#: PMAX/SAFE (bounds move) and LUO (speed extrapolation) — see the
+#: Hypothesis properties in ``tests/test_progress_properties.py`` for the
+#: fixed-totals variant of the same claim.
+MONOTONE_FUZZ = ("dne", "batch_dne", "dne_seek", "tgn_int")
+
+_ALL_ESTIMATORS = all_estimators(include_worst_case=True,
+                                 include_extensions=True)
+
+
+@dataclass(frozen=True)
+class OracleContext:
+    """Where a check is running, for failure messages."""
+
+    seed: int
+    repro: str
+    query: str = ""
+
+    def where(self) -> str:
+        return f"seed={self.seed}" + (f" query={self.query}" if self.query
+                                      else "")
+
+
+class OracleViolation(AssertionError):
+    """A differential-oracle failure, with the repro command inline."""
+
+    def __init__(self, layer: str, ctx: OracleContext, detail: str):
+        self.layer = layer
+        self.seed = ctx.seed
+        message = (f"[fuzz oracle:{layer}] {ctx.where()}: {detail}\n"
+                   f"  reproduce with: {ctx.repro}")
+        super().__init__(message)
+
+
+def _require(condition: bool, layer: str, ctx: OracleContext,
+             detail: str) -> None:
+    if not condition:
+        raise OracleViolation(layer, ctx, detail)
+
+
+# -- layer 1: engine output vs. reference -----------------------------------
+
+def check_engine_output(run: QueryRun, ref: ReferenceResult,
+                        query: QuerySpec, ctx: OracleContext) -> None:
+    problem = compare_output(run.output, ref, query)
+    _require(problem is None, "output", ctx, problem or "")
+    _require(run.output_rows == ref.expected_rows, "output", ctx,
+             f"QueryRun.output_rows {run.output_rows} != collected "
+             f"{ref.expected_rows}")
+
+
+# -- layer 2: progress invariants -------------------------------------------
+
+def check_progress_invariants(run: QueryRun, ctx: OracleContext,
+                              min_observations: int = 3) -> None:
+    layer = "invariants"
+    times, K, R, W = run.times, run.K, run.R, run.W
+    LB, UB, D, N = run.LB, run.UB, run.D, run.N
+    _require(len(times) >= 2, layer, ctx, "fewer than two observations")
+    _require(bool((np.diff(times) >= -_EPS).all()), layer, ctx,
+             "observation times decrease")
+    for label, M in (("K", K), ("R", R), ("W", W)):
+        _require(bool((np.diff(M, axis=0) >= -_EPS).all()), layer, ctx,
+                 f"counter {label} decreases over time")
+    _require(bool((np.diff(D.astype(np.int8), axis=0) >= 0).all()),
+             layer, ctx, "done flag un-latched")
+    _require(bool(np.array_equal(LB, K)), layer, ctx,
+             "lower bounds diverge from the GetNext counters")
+    _require(bool((LB <= UB + _EPS).all()), layer, ctx, "LB exceeds UB")
+    _require(bool((UB <= UNBOUNDED + _EPS).all()), layer, ctx,
+             "UB exceeds the UNBOUNDED cap")
+    _require(bool((UB[D] <= K[D] + _EPS).all()), layer, ctx,
+             "a finished node's UB is looser than its counter")
+    _require(bool(D[-1].all()), layer, ctx,
+             "final snapshot has unfinished nodes")
+    if run.spill_events == 0:
+        # Without spill-induced extra GetNext calls the online bounds must
+        # contain the true totals at every snapshot.
+        _require(bool((LB <= N[None, :] + _EPS).all()), layer, ctx,
+                 "LB overshoots the true totals (no spills)")
+        _require(bool((N[None, :] <= UB + _EPS).all()), layer, ctx,
+                 "UB undershoots the true totals (no spills)")
+
+    pipelines = run.pipeline_runs(min_observations=min_observations)
+    for pr in pipelines:
+        fraction = pr.driver_fraction()
+        _require(bool(((0.0 <= fraction) & (fraction <= 1.0)).all()),
+                 layer, ctx, f"pid {pr.pid}: driver fraction outside [0,1]")
+        _require(bool((np.diff(fraction) >= -1e-12).all()), layer, ctx,
+                 f"pid {pr.pid}: driver fraction decreases")
+        estimates = {}
+        for est in _ALL_ESTIMATORS:
+            values = est.estimate(pr)
+            estimates[est.name] = values
+            _require(values.shape == (pr.n_observations,), layer, ctx,
+                     f"pid {pr.pid}: estimator {est.name!r} wrong shape")
+            _require(bool(np.isfinite(values).all()), layer, ctx,
+                     f"pid {pr.pid}: estimator {est.name!r} not finite")
+            _require(bool(((0.0 <= values) & (values <= 1.0)).all()),
+                     layer, ctx,
+                     f"pid {pr.pid}: estimator {est.name!r} outside [0,1]")
+        for name in MONOTONE_FUZZ:
+            _require(bool((np.diff(estimates[name]) >= -_EPS).all()),
+                     layer, ctx,
+                     f"pid {pr.pid}: GetNext-model estimator {name!r} "
+                     f"not monotone on a live trajectory")
+        # SAFE never overshoots its feasible interval: it sits between
+        # PMAX (the interval's low end) and the LB-derived high end.
+        k_sum = pr.K.sum(axis=1)
+        hi = np.clip(np.divide(
+            k_sum, np.maximum(pr.LB.sum(axis=1), 1e-12),
+            out=np.zeros_like(k_sum),
+            where=pr.LB.sum(axis=1) > 0), 0.0, 1.0)
+        _require(bool((estimates["pmax"] <= estimates["safe"] + _EPS).all()),
+                 layer, ctx,
+                 f"pid {pr.pid}: SAFE fell below PMAX")
+        _require(bool((estimates["safe"] <= hi + _EPS).all()), layer, ctx,
+                 f"pid {pr.pid}: SAFE overshoots the feasible interval")
+        if run.spill_events == 0:
+            true_gnm = np.clip(np.divide(
+                k_sum, max(float(pr.N.sum()), 1e-12),
+                out=np.zeros_like(k_sum),
+                where=pr.N.sum() > 0), 0.0, 1.0)
+            _require(bool((estimates["pmax"] <= true_gnm + 1e-6).all()),
+                     layer, ctx,
+                     f"pid {pr.pid}: PMAX overshoots true GetNext progress "
+                     f"(no spills)")
+
+
+# -- layer 3: trace round-trip + replayed monitoring ------------------------
+
+def _nan_equal(a: float, b: float) -> bool:
+    return (np.isnan(a) and np.isnan(b)) or a == b
+
+
+def reports_equal(a: ProgressReport, b: ProgressReport) -> bool:
+    return (a.time == b.time and a.progress == b.progress
+            and a.active_pid == b.active_pid
+            and a.active_estimator == b.active_estimator
+            and a.pipeline_progress == b.pipeline_progress
+            and a.pipeline_estimator == b.pipeline_estimator)
+
+
+def report_streams_equal(a: list[ProgressReport],
+                         b: list[ProgressReport]) -> bool:
+    return len(a) == len(b) and all(reports_equal(x, y)
+                                    for x, y in zip(a, b))
+
+
+def check_trace_roundtrip(run: QueryRun, live_reports: list[ProgressReport],
+                          monitor: ProgressMonitor,
+                          ctx: OracleContext) -> None:
+    layer = "trace"
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_trace(Path(tmp) / "trace", [run])
+        replayed, manifest = read_trace(path)
+    _require(len(replayed) == 1, layer, ctx,
+             f"round-trip returned {len(replayed)} runs")
+    rep = replayed[0]
+    for name in ("times", "K", "R", "W", "LB", "UB", "N", "D"):
+        _require(bool(np.array_equal(getattr(run, name), getattr(rep, name))),
+                 layer, ctx, f"array {name!r} not bit-identical after "
+                 f"round-trip")
+    _require(len(rep.nodes) == len(run.nodes), layer, ctx,
+             "node count changed in round-trip")
+    for a, b in zip(run.nodes, rep.nodes):
+        same = (a.node_id == b.node_id and a.op == b.op
+                and a.table == b.table and a.est_rows == b.est_rows
+                and a.est_row_width == b.est_row_width
+                and _nan_equal(a.table_rows, b.table_rows)
+                and a.pid == b.pid and a.parent == b.parent
+                and a.is_driver == b.is_driver
+                and a.is_build_side == b.is_build_side)
+        _require(same, layer, ctx,
+                 f"node {a.node_id} metadata changed in round-trip")
+    _require(len(rep.pipelines) == len(run.pipelines), layer, ctx,
+             "pipeline count changed in round-trip")
+    for p, q in zip(run.pipelines, rep.pipelines):
+        same = (p.pid == q.pid and p.node_ids == q.node_ids
+                and p.driver_ids == q.driver_ids
+                and _nan_equal(p.t_start, q.t_start)
+                and _nan_equal(p.t_end, q.t_end))
+        _require(same, layer, ctx,
+                 f"pipeline {p.pid} metadata changed in round-trip")
+    _require(rep.total_time == run.total_time
+             and rep.output_rows == run.output_rows
+             and rep.spill_events == run.spill_events, layer, ctx,
+             "run scalars changed in round-trip")
+    replayed_reports = replay_monitor(monitor, rep)
+    _require(report_streams_equal(live_reports, replayed_reports),
+             layer, ctx,
+             f"replayed report stream diverges from live monitoring "
+             f"({len(replayed_reports)} vs {len(live_reports)} reports)")
+
+
+# -- layer 4: pooled service vs. solo monitoring ----------------------------
+
+def check_service_parity(runs: list[QueryRun],
+                         solo_reports: list[list[ProgressReport]],
+                         monitor: ProgressMonitor, ctx: OracleContext,
+                         slice_steps: int = 4,
+                         max_live: int | None = None) -> None:
+    layer = "service"
+    service = ProgressService(monitor, slice_steps=slice_steps,
+                              max_live=max_live)
+    ids = [service.submit_replay(run) for run in runs]
+    service.run_until_complete(max_ticks=1_000_000)
+    for sid, solo, run in zip(ids, solo_reports, runs):
+        session = service.session(sid)
+        _require(report_streams_equal(solo, session.reports), layer, ctx,
+                 f"service-scheduled reports for {run.query_name!r} "
+                 f"diverge from solo monitoring "
+                 f"({len(session.reports)} vs {len(solo)} reports; "
+                 f"slice_steps={slice_steps}, max_live={max_live})")

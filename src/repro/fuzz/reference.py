@@ -1,0 +1,309 @@
+"""Naive pure-NumPy reference evaluation of :class:`QuerySpec` queries.
+
+This is the fuzzer's ground truth for oracle layer 1: no plans, no
+operators, no chunking, no cost model — each query is evaluated directly
+against the base tables with whole-column NumPy operations (filter masks,
+sort-merge key matching, one-shot grouping).  Independence from the engine
+is the point: the two implementations share only the predicate evaluator
+(:func:`repro.query.predicates.evaluate_all`, which *defines* predicate
+semantics) and must agree on every generated query.
+
+Comparison rules (see :func:`compare_output`):
+
+* engine rows are compared as a **multiset** — operator order is free to
+  permute rows; an ORDER BY additionally requires the engine's stream to
+  be lexicographically non-decreasing on the sort keys;
+* TOP-k results are checked by containment (every emitted row exists in
+  the reference result), by count, and — when an ORDER BY is present — by
+  multiset equality of the sort keys against the reference's top *k*,
+  which is exactly the set of correct answers when ties straddle the
+  boundary;
+* aggregate values are compared with a tight relative tolerance
+  (``1e-9``): float summation order differs legitimately between the
+  chunked engine and the one-shot reference; everything else is exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.table import Database
+from repro.query.logical import QuerySpec
+from repro.query.predicates import evaluate_all
+
+_RTOL = 1e-9
+_ATOL = 1e-9
+
+
+@dataclass
+class ReferenceResult:
+    """Full (untruncated) reference result, sorted by ORDER BY if any."""
+
+    columns: dict[str, np.ndarray]
+    order_by: list[str]
+    top: int | None
+
+    @property
+    def n_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def expected_rows(self) -> int:
+        """Rows the engine must emit (TOP truncates the reference)."""
+        return self.n_rows if self.top is None else min(self.top, self.n_rows)
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    base = np.repeat(starts, counts)
+    cum = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
+    return base + offsets
+
+
+def _n_rows(columns: dict[str, np.ndarray]) -> int:
+    return len(next(iter(columns.values()))) if columns else 0
+
+
+def _join_all(db: Database, query: QuerySpec) -> dict[str, np.ndarray]:
+    """Filtered base tables combined along the query's join edges."""
+    parts: dict[str, dict[str, np.ndarray]] = {}
+    for t in query.tables:
+        columns = dict(db.table(t).data)
+        specs = query.filters_on(t)
+        if specs:
+            mask = evaluate_all(specs, columns)
+            columns = {k: v[mask] for k, v in columns.items()}
+        parts[t] = columns
+
+    joined = dict(parts[query.tables[0]])
+    covered = {query.tables[0]}
+    pending = list(query.joins)
+    while pending:
+        for edge in pending:
+            if (edge.left_table in covered) or (edge.right_table in covered):
+                break
+        else:  # pragma: no cover - QuerySpec validates connectivity
+            raise ValueError(f"query {query.name!r} join graph disconnected")
+        pending.remove(edge)
+        if edge.left_table in covered and edge.right_table in covered:
+            # cycle edge: a residual equality predicate over joined rows
+            mask = joined[edge.left_column] == joined[edge.right_column]
+            joined = {k: v[mask] for k, v in joined.items()}
+            continue
+        if edge.left_table in covered:
+            near_col, far_t, far_col = (edge.left_column, edge.right_table,
+                                        edge.right_column)
+        else:
+            near_col, far_t, far_col = (edge.right_column, edge.left_table,
+                                        edge.left_column)
+        far = parts[far_t]
+        near_keys = joined[near_col]
+        far_keys = far[far_col]
+        order = np.argsort(far_keys, kind="stable")
+        sorted_keys = far_keys[order]
+        lo = np.searchsorted(sorted_keys, near_keys, side="left")
+        hi = np.searchsorted(sorted_keys, near_keys, side="right")
+        counts = hi - lo
+        near_idx = np.repeat(np.arange(len(near_keys)), counts)
+        far_pos = order[_expand_ranges(lo, counts)]
+        joined = {k: v[near_idx] for k, v in joined.items()}
+        joined.update({k: v[far_pos] for k, v in far.items()})
+        covered.add(far_t)
+    return joined
+
+
+def _aggregate(rows: dict[str, np.ndarray], query: QuerySpec
+               ) -> dict[str, np.ndarray]:
+    n = _n_rows(rows)
+    aggs = query.aggregates
+    if not query.group_by:
+        if n == 0:
+            # Engine semantics: a scalar aggregate over an empty input
+            # yields one all-zero row for COUNT aggregates only, and no
+            # row at all when there is no COUNT.
+            counts = [a for a in aggs if a.func == "count"]
+            return {a.output_name: np.zeros(1) for a in counts}
+        out: dict[str, np.ndarray] = {}
+        for agg in aggs:
+            if agg.func == "count":
+                out[agg.output_name] = np.array([float(n)])
+                continue
+            values = rows[agg.column].astype(np.float64)
+            if agg.func == "sum":
+                out[agg.output_name] = np.array([values.sum()])
+            elif agg.func == "avg":
+                out[agg.output_name] = np.array([values.sum() / n])
+            elif agg.func == "min":
+                out[agg.output_name] = np.array([values.min()])
+            else:
+                out[agg.output_name] = np.array([values.max()])
+        return out
+
+    group_cols = list(query.group_by)
+    if n == 0:
+        out = {c: rows[c][:0] for c in group_cols}
+        out.update({a.output_name: np.empty(0) for a in aggs})
+        return out
+    keys = [rows[c] for c in group_cols]
+    order = np.lexsort(keys[::-1])
+    sorted_keys = [k[order] for k in keys]
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for k in sorted_keys:
+        boundary[1:] |= k[1:] != k[:-1]
+    starts = np.flatnonzero(boundary)
+    ends = np.append(starts[1:], n)
+    counts = (ends - starts).astype(np.float64)
+    out = {c: k[starts] for c, k in zip(group_cols, sorted_keys)}
+    for agg in aggs:
+        if agg.func == "count":
+            out[agg.output_name] = counts.copy()
+            continue
+        values = rows[agg.column][order].astype(np.float64)
+        if agg.func == "sum":
+            out[agg.output_name] = np.add.reduceat(values, starts)
+        elif agg.func == "avg":
+            out[agg.output_name] = np.add.reduceat(values, starts) / counts
+        elif agg.func == "min":
+            out[agg.output_name] = np.minimum.reduceat(values, starts)
+        else:
+            out[agg.output_name] = np.maximum.reduceat(values, starts)
+    return out
+
+
+def evaluate_reference(db: Database, query: QuerySpec) -> ReferenceResult:
+    """Evaluate ``query`` naively; the result is the oracle's ground truth."""
+    rows = _join_all(db, query)
+    if query.aggregates:
+        rows = _aggregate(rows, query)
+    if query.order_by and _n_rows(rows) > 1:
+        keys = [rows[c] for c in reversed(query.order_by)]
+        order = np.lexsort(keys)
+        rows = {k: v[order] for k, v in rows.items()}
+    return ReferenceResult(columns=rows, order_by=list(query.order_by),
+                           top=query.top)
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+
+def _lex_nondecreasing(columns: list[np.ndarray]) -> bool:
+    n = len(columns[0])
+    if n <= 1:
+        return True
+    greater = np.zeros(n - 1, dtype=bool)
+    equal = np.ones(n - 1, dtype=bool)
+    for col in columns:
+        a, b = col[:-1], col[1:]
+        greater |= equal & (a > b)
+        equal &= a == b
+    return not bool(greater.any())
+
+
+def _sort_rows(columns: dict[str, np.ndarray],
+               by: list[str]) -> dict[str, np.ndarray]:
+    order = np.lexsort([columns[c] for c in reversed(by)])
+    return {k: v[order] for k, v in columns.items()}
+
+
+def _row_tuples(columns: dict[str, np.ndarray],
+                names: list[str]) -> list[tuple]:
+    return list(zip(*(columns[c].tolist() for c in names)))
+
+
+def _agg_names(query: QuerySpec) -> list[str]:
+    return [a.output_name for a in query.aggregates]
+
+
+def _compare_sorted(eng: dict[str, np.ndarray], ref: dict[str, np.ndarray],
+                    exact: list[str], close: list[str]) -> str | None:
+    for c in exact:
+        if not np.array_equal(np.asarray(eng[c]), np.asarray(ref[c])):
+            return f"column {c!r} differs from the reference"
+    for c in close:
+        a = np.asarray(eng[c], dtype=np.float64)
+        b = np.asarray(ref[c], dtype=np.float64)
+        if not np.allclose(a, b, rtol=_RTOL, atol=_ATOL):
+            worst = float(np.abs(a - b).max()) if len(a) else 0.0
+            return (f"aggregate column {c!r} deviates from the reference "
+                    f"beyond tolerance (max abs diff {worst:g})")
+    return None
+
+
+def compare_output(output, ref: ReferenceResult,
+                   query: QuerySpec) -> str | None:
+    """Compare the engine's collected output chunk against the reference.
+
+    Returns ``None`` on agreement, else a human-readable description of
+    the first mismatch (the oracle wraps it with the scenario's repro
+    command).
+    """
+    eng = {} if output is None else dict(output.data)
+    n_eng = _n_rows(eng)
+    expect = ref.expected_rows
+    if n_eng != expect:
+        return f"row count {n_eng} != expected {expect}"
+    if expect == 0:
+        return None
+    if set(eng) != set(ref.columns):
+        return (f"column set {sorted(eng)} != expected "
+                f"{sorted(ref.columns)}")
+    if ref.order_by and not _lex_nondecreasing([eng[c] for c in ref.order_by]):
+        return f"output not sorted by {ref.order_by}"
+
+    is_agg = bool(query.aggregates)
+    group_cols = list(query.group_by)
+    # restrict to columns present in the reference: a scalar aggregate
+    # over an empty input legally emits its COUNT columns only
+    agg_cols = [c for c in _agg_names(query) if c in ref.columns]
+
+    if ref.top is None:
+        if is_agg and not group_cols:  # single scalar row
+            return _compare_sorted(eng, ref.columns, [], agg_cols)
+        sort_by = group_cols if is_agg else sorted(ref.columns)
+        eng_s = _sort_rows(eng, sort_by)
+        ref_s = _sort_rows(ref.columns, sort_by)
+        if is_agg:
+            return _compare_sorted(eng_s, ref_s, group_cols, agg_cols)
+        return _compare_sorted(eng_s, ref_s, sort_by, [])
+
+    # TOP-k: containment + count (+ key multiset under ORDER BY).
+    if ref.order_by:
+        eng_keys = sorted(_row_tuples(eng, ref.order_by))
+        ref_top = {c: v[:expect] for c, v in ref.columns.items()}
+        ref_keys = sorted(_row_tuples(ref_top, ref.order_by))
+        if eng_keys != ref_keys:
+            return (f"TOP {ref.top} sort-key multiset differs from the "
+                    f"reference's first {expect} rows")
+    if is_agg and group_cols:
+        ref_lookup = {key: i for i, key in enumerate(
+            _row_tuples(ref.columns, group_cols))}
+        eng_groups = _row_tuples(eng, group_cols)
+        if len(set(eng_groups)) != len(eng_groups):
+            return "TOP output repeats a group key"
+        for j, key in enumerate(eng_groups):
+            i = ref_lookup.get(key)
+            if i is None:
+                return f"TOP output contains unknown group {key}"
+            for c in agg_cols:
+                if not np.isclose(float(eng[c][j]), float(ref.columns[c][i]),
+                                  rtol=_RTOL, atol=_ATOL):
+                    return (f"TOP aggregate {c!r} for group {key} deviates "
+                            f"from the reference")
+        return None
+    names = sorted(ref.columns)
+    ref_counter = Counter(_row_tuples(ref.columns, names))
+    eng_counter = Counter(_row_tuples(eng, names))
+    extra = eng_counter - ref_counter
+    if extra:
+        return f"TOP output contains rows not in the reference: {list(extra)[:3]}"
+    return None

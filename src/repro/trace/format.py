@@ -32,7 +32,10 @@ from repro.learning.serialize import require_format_version
 from repro.plan.nodes import Op
 
 #: Version of the trace directory layout + per-run payload schema.
-TRACE_FORMAT_VERSION = 1
+#: v2: the engine's worst-case bounds for nested-loop probe sides changed
+#: (an inner INDEX_SEEK is bounded by outer-bound × table rows, not by the
+#: table alone), so v1 recordings carry unsound UB trajectories.
+TRACE_FORMAT_VERSION = 2
 
 #: Stacking order of the counter matrices inside the ``C`` member.
 COUNTER_KEYS = ("K", "R", "W", "LB", "UB")

@@ -87,6 +87,21 @@ def pipeline_runs(join_run, scan_run):
     return runs
 
 
+@pytest.fixture(scope="session")
+def rng_factory():
+    """Deterministic RNG factory (session-scoped, hypothesis-safe).
+
+    Tests that need seeded randomness draw fresh generators from here —
+    ``rng_factory()`` or ``rng_factory(seed)`` — instead of constructing
+    ad-hoc ``np.random`` state inline, so every stream in the suite is
+    explicitly seeded and greppable in one place.
+    """
+    def make(seed: int = 1234) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make
+
+
 @pytest.fixture()
-def rng():
-    return np.random.default_rng(1234)
+def rng(rng_factory):
+    return rng_factory()

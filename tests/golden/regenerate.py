@@ -6,9 +6,10 @@ trace format or an estimator::
     PYTHONPATH=src python tests/golden/regenerate.py
 
 One tiny recorded trace per workload family (TPC-H, TPC-DS, skewed
-"real"), each a real execution of two generated queries at miniature
-scale, plus an ``expected_<family>.npz`` holding the replayed estimator
-trajectories and TrainingData matrices.  ``tests/test_trace_golden.py``
+"real", and one fixed-seed ``adhoc_fuzz`` bundle), each a real execution
+of two generated queries at miniature scale, plus an
+``expected_<family>.npz`` holding the replayed estimator trajectories and
+TrainingData matrices.  ``tests/test_trace_golden.py``
 asserts exact (bitwise) equality against these files — so an accidental
 behaviour change in the engine, the trace codec or any estimator fails the
 suite with a pointer here, while an intentional one is a one-command
@@ -31,13 +32,15 @@ from repro.workloads.suite import SuiteScale, WorkloadSuite
 GOLDEN_DIR = Path(__file__).resolve().parent
 
 #: family label -> suite workload recorded for it
-FAMILIES = {"tpch": "tpch_untuned", "tpcds": "tpcds", "real": "real1"}
+FAMILIES = {"tpch": "tpch_untuned", "tpcds": "tpcds", "real": "real1",
+            "fuzz": "adhoc_fuzz"}
 
 #: miniature scale: two queries per family over ~1k-row databases keeps
 #: each committed trace in the tens of kilobytes
 SCALE = SuiteScale(
     tpch_rows=1_200, tpcds_rows=1_000, real1_rows=900, real2_rows=900,
     tpch_queries=2, tpcds_queries=2, real1_queries=2, real2_queries=2,
+    fuzz_rows=900, fuzz_queries=2,
 )
 SEED = 17
 EXECUTOR = dict(batch_size=256, memory_budget_bytes=float(64 << 10),

@@ -1,0 +1,76 @@
+"""Shared Hypothesis strategies for progress-estimation properties.
+
+Used by ``test_progress_properties.py`` (and available to any other
+property suite): randomized monotone counter trajectories over a small
+operator zoo, both as directly constructed :class:`PipelineRun` objects
+and as trajectories recorded through the real :class:`ObservationLog`
+snapshot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.engine.counters import UNBOUNDED, CounterStore, ObservationLog
+from repro.plan.nodes import Op
+
+from helpers import make_pipeline_run
+
+#: (ops, parents, drivers) plan shapes the pipeline strategy samples from
+PIPELINE_SHAPES = (
+    ([Op.FILTER, Op.INDEX_SCAN], [-1, 0], [1]),
+    ([Op.NESTED_LOOP_JOIN, Op.INDEX_SCAN, Op.INDEX_SEEK],
+     [-1, 0, 0], [1]),
+    ([Op.HASH_JOIN, Op.BATCH_SORT, Op.INDEX_SCAN], [-1, 0, 1], [2]),
+    ([Op.STREAM_AGG, Op.MERGE_JOIN, Op.INDEX_SCAN, Op.INDEX_SCAN],
+     [-1, 0, 1, 1], [2, 3]),
+)
+
+
+@st.composite
+def random_pipeline(draw):
+    """A random monotone :class:`PipelineRun` over a small operator zoo."""
+    n_obs = draw(st.integers(3, 25))
+    ops, parents, drivers = draw(st.sampled_from(PIPELINE_SHAPES))
+    m = len(ops)
+    totals = np.array([draw(st.floats(1.0, 1e5)) for _ in range(m)])
+    # random monotone trajectories from 0 to the totals
+    fractions = np.sort(np.array(
+        [[draw(st.floats(0.0, 1.0)) for _ in range(m)]
+         for _ in range(n_obs)]), axis=0)
+    fractions[0] = 0.0
+    fractions[-1] = 1.0
+    K = fractions * totals
+    e0 = totals * np.array([draw(st.floats(0.1, 10.0)) for _ in range(m)])
+    times = np.cumsum(np.array([draw(st.floats(0.01, 10.0))
+                                for _ in range(n_obs)]))
+    return make_pipeline_run(ops, K, parents=parents, drivers=drivers,
+                             E0=e0, times=times)
+
+
+@st.composite
+def random_observation_log(draw):
+    """Random monotone trajectories recorded through the real log path.
+
+    Returns ``(log, totals)``; per node and snapshot the upper bound is
+    either finite (counter plus random slack — possibly tight) or the
+    unbounded sentinel, so bound-interval estimators see both regimes.
+    """
+    ops = [Op.FILTER, Op.INDEX_SCAN]
+    m = len(ops)
+    n_obs = draw(st.integers(2, 15))
+    store = CounterStore(m)
+    log = ObservationLog(m)
+    now = 0.0
+    totals = np.array([draw(st.floats(1.0, 1e4)) for _ in range(m)])
+    for _ in range(n_obs):
+        now += draw(st.floats(0.01, 5.0))
+        store.K += np.array([draw(st.floats(0.0, 1e3)) for _ in range(m)])
+        store.R += np.array([draw(st.floats(0.0, 1e5)) for _ in range(m)])
+        slack = np.array([
+            draw(st.one_of(st.floats(0.0, 1e4), st.just(UNBOUNDED)))
+            for _ in range(m)])
+        log.snapshot(now, store, store.K.copy(),
+                     np.minimum(store.K + slack, UNBOUNDED))
+    return log, totals

@@ -40,9 +40,9 @@ class TestZipfSample:
         assert values.min() >= 0
         assert values.max() < 50
 
-    def test_deterministic_under_seed(self):
-        a = zipf_sample(np.random.default_rng(9), 100, 20, 1.0)
-        b = zipf_sample(np.random.default_rng(9), 100, 20, 1.0)
+    def test_deterministic_under_seed(self, rng_factory):
+        a = zipf_sample(rng_factory(9), 100, 20, 1.0)
+        b = zipf_sample(rng_factory(9), 100, 20, 1.0)
         assert (a == b).all()
 
     def test_zero_size(self, rng):
@@ -59,10 +59,10 @@ class TestZipfSample:
         top_uniform = np.bincount(uniform, minlength=100).max()
         assert top_skewed > 3 * top_uniform
 
-    def test_shuffle_ranks_changes_identity_of_head(self, rng):
-        plain = zipf_sample(np.random.default_rng(3), 5000, 50, 2.0)
+    def test_shuffle_ranks_changes_identity_of_head(self, rng_factory):
+        plain = zipf_sample(rng_factory(3), 5000, 50, 2.0)
         assert np.bincount(plain).argmax() == 0  # rank 1 maps to value 0
-        shuffled = zipf_sample(np.random.default_rng(3), 5000, 50, 2.0,
+        shuffled = zipf_sample(rng_factory(3), 5000, 50, 2.0,
                                shuffle_ranks=True)
         assert shuffled.min() >= 0 and shuffled.max() < 50
 
@@ -73,8 +73,8 @@ class TestZipfSample:
 
     @given(st.integers(1, 200), st.floats(0.0, 3.0))
     @settings(max_examples=40)
-    def test_domain_respected(self, n, z):
-        values = zipf_sample(np.random.default_rng(0), 50, n, z)
+    def test_domain_respected(self, rng_factory, n, z):
+        values = zipf_sample(rng_factory(0), 50, n, z)
         assert ((0 <= values) & (values < n)).all()
 
 

@@ -18,15 +18,41 @@ class TestChunk:
         assert "a" in chunk and "z" not in chunk
 
     def test_empty_dict_chunk(self):
-        assert len(Chunk({})) == 0
+        chunk = Chunk({})
+        assert len(chunk) == 0
+        assert chunk.columns == []
+        assert "a" not in chunk
+
+    def test_empty_dict_chunk_ops(self):
+        empty = Chunk({})
+        assert len(empty.select(np.empty(0, dtype=bool))) == 0
+        assert len(empty.take(np.empty(0, dtype=np.int64))) == 0
+        assert len(empty.slice(0, 10)) == 0
 
     def test_select(self):
         out = make().select(np.array([True, False, True, False, True]))
         assert out.column("a").tolist() == [0, 2, 4]
 
+    def test_select_all_false_mask(self):
+        out = make().select(np.zeros(5, dtype=bool))
+        assert len(out) == 0
+        assert out.columns == ["a", "b"]  # schema survives an empty result
+        assert out.column("a").dtype == make().column("a").dtype
+
     def test_take_with_repeats(self):
         out = make().take(np.array([1, 1, 3]))
         assert out.column("b").tolist() == [2.0, 2.0, 6.0]
+
+    def test_take_repeats_out_of_order(self):
+        # join fan-out: duplicates and arbitrary order must both survive
+        out = make().take(np.array([4, 0, 0, 2, 4, 4]))
+        assert out.column("a").tolist() == [4, 0, 0, 2, 4, 4]
+        assert len(out) == 6
+
+    def test_take_nothing(self):
+        out = make().take(np.empty(0, dtype=np.int64))
+        assert len(out) == 0
+        assert out.columns == ["a", "b"]
 
     def test_slice(self):
         assert make().slice(1, 3).column("a").tolist() == [1, 2]

@@ -36,33 +36,33 @@ class TestCostModel:
 
 
 class TestSimClock:
-    def test_deterministic_advance_without_noise(self):
-        clock = SimClock(quiet_cost(), np.random.default_rng(0))
+    def test_deterministic_advance_without_noise(self, rng_factory):
+        clock = SimClock(quiet_cost(), rng_factory(0))
         assert clock.advance(1.5) == pytest.approx(1.5)
         assert clock.now == pytest.approx(1.5)
 
-    def test_time_scale_multiplies(self):
-        clock = SimClock(quiet_cost(time_scale=100.0), np.random.default_rng(0))
+    def test_time_scale_multiplies(self, rng_factory):
+        clock = SimClock(quiet_cost(time_scale=100.0), rng_factory(0))
         clock.advance(1.0)
         assert clock.now == pytest.approx(100.0)
 
-    def test_zero_advance(self):
-        clock = SimClock(quiet_cost(), np.random.default_rng(0))
+    def test_zero_advance(self, rng_factory):
+        clock = SimClock(quiet_cost(), rng_factory(0))
         assert clock.advance(0.0) == 0.0
 
-    def test_negative_advance_rejected(self):
-        clock = SimClock(quiet_cost(), np.random.default_rng(0))
+    def test_negative_advance_rejected(self, rng_factory):
+        clock = SimClock(quiet_cost(), rng_factory(0))
         with pytest.raises(ValueError):
             clock.advance(-1.0)
 
-    def test_noise_is_seeded(self):
-        a = SimClock(quiet_cost(noise_sigma=0.2), np.random.default_rng(7))
-        b = SimClock(quiet_cost(noise_sigma=0.2), np.random.default_rng(7))
+    def test_noise_is_seeded(self, rng_factory):
+        a = SimClock(quiet_cost(noise_sigma=0.2), rng_factory(7))
+        b = SimClock(quiet_cost(noise_sigma=0.2), rng_factory(7))
         for _ in range(10):
             assert a.advance(1.0) == b.advance(1.0)
 
-    def test_load_drift_keeps_time_positive(self):
-        clock = SimClock(quiet_cost(load_sigma=0.5), np.random.default_rng(3))
+    def test_load_drift_keeps_time_positive(self, rng_factory):
+        clock = SimClock(quiet_cost(load_sigma=0.5), rng_factory(3))
         for _ in range(500):
             assert clock.advance(0.01) > 0
 

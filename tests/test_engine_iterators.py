@@ -17,9 +17,9 @@ from repro.query.predicates import FilterSpec
 
 
 @pytest.fixture(scope="module")
-def db():
+def db(rng_factory):
     """Two small joinable tables with controlled contents."""
-    rng = np.random.default_rng(0)
+    rng = rng_factory(0)
     n_dim, n_fact = 40, 1200
     dim = Table(
         TableSchema("dim", (Column("d_key"), Column("d_group"))),
@@ -83,6 +83,39 @@ class TestScansAndFilters:
         assert run.output_rows == 17
         scan_id = plan.children[0].node_id
         assert run.N[scan_id] < 1200  # early termination visible in N
+
+    def test_top_close_propagates_through_filter(self, db):
+        # TOP's early close() must walk the whole child chain: the filter
+        # *and* the scan below it stop producing once k rows are out.
+        pred = FilterSpec("fact", "f_value", "<=", 50.0)
+        plan = PlanNode(Op.TOP,
+                        [PlanNode(Op.FILTER, [scan("fact")],
+                                  predicates=[pred])], k=5)
+        run = execute(db, plan)
+        assert run.output_rows == 5
+        filter_id = plan.children[0].node_id
+        scan_id = plan.children[0].children[0].node_id
+        assert run.N[filter_id] >= 5
+        assert run.N[scan_id] < 1200
+        assert (run.output.column("f_value") <= 50.0).all()
+
+    def test_close_is_sticky(self, db):
+        # BatchIterator.close marks the subtree exhausted: no further
+        # chunks, no further counter movement.
+        from repro.engine.executor import ExecContext
+        from repro.engine.iterators import build_iterator
+
+        plan = scan("fact").finalize()
+        executor = QueryExecutor(db, ExecutorConfig(
+            batch_size=128, target_observations=30, seed=1))
+        ctx = ExecContext(db, plan, executor.config, executor.cost_model)
+        iterator = build_iterator(plan, ctx)
+        iterator.open()
+        first = iterator.next_chunk()
+        assert len(first) == 128
+        iterator.close()
+        assert iterator.next_chunk() is None
+        assert ctx.counters.K[plan.node_id] == 128.0
 
 
 class TestSorts:

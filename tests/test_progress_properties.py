@@ -1,22 +1,23 @@
 """Property-based tests: estimators on randomized synthetic trajectories.
 
 Hypothesis generates arbitrary monotone counter trajectories for a small
-operator zoo; every estimator must stay within [0, 1], never produce
-NaN/inf, and remain causal.  A second family of properties drives the
-trajectories through the real :class:`ObservationLog` (snapshot → dense
-arrays → :class:`PipelineRun`), and GetNext-model estimators must be
-monotone whenever the counters are.
+operator zoo (shared strategies in ``tests/strategies.py``); every
+estimator must stay within [0, 1], never produce NaN/inf, and remain
+causal.  A second family of properties drives the trajectories through
+the real :class:`ObservationLog` (snapshot → dense arrays →
+:class:`PipelineRun`), and GetNext-model estimators must be monotone
+whenever the counters are.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine.counters import UNBOUNDED, CounterStore, ObservationLog
 from repro.plan.nodes import Op
 from repro.progress.registry import all_estimators
 
 from helpers import make_pipeline_run, truncate_run
+from strategies import random_observation_log, random_pipeline
 
 ESTIMATORS = all_estimators(include_worst_case=True)
 
@@ -28,34 +29,6 @@ ESTIMATORS = all_estimators(include_worst_case=True)
 MONOTONE_NAMES = ("dne", "tgn", "batch_dne", "dne_seek", "tgn_int",
                   "pmax", "safe")
 MONOTONE_ESTIMATORS = [e for e in ESTIMATORS if e.name in MONOTONE_NAMES]
-
-
-@st.composite
-def random_pipeline(draw):
-    n_obs = draw(st.integers(3, 25))
-    shapes = draw(st.sampled_from([
-        ([Op.FILTER, Op.INDEX_SCAN], [-1, 0], [1]),
-        ([Op.NESTED_LOOP_JOIN, Op.INDEX_SCAN, Op.INDEX_SEEK],
-         [-1, 0, 0], [1]),
-        ([Op.HASH_JOIN, Op.BATCH_SORT, Op.INDEX_SCAN], [-1, 0, 1], [2]),
-        ([Op.STREAM_AGG, Op.MERGE_JOIN, Op.INDEX_SCAN, Op.INDEX_SCAN],
-         [-1, 0, 1, 1], [2, 3]),
-    ]))
-    ops, parents, drivers = shapes
-    m = len(ops)
-    totals = np.array([draw(st.floats(1.0, 1e5)) for _ in range(m)])
-    # random monotone trajectories from 0 to the totals
-    fractions = np.sort(np.array(
-        [[draw(st.floats(0.0, 1.0)) for _ in range(m)]
-         for _ in range(n_obs)]), axis=0)
-    fractions[0] = 0.0
-    fractions[-1] = 1.0
-    K = fractions * totals
-    e0 = totals * np.array([draw(st.floats(0.1, 10.0)) for _ in range(m)])
-    times = np.cumsum(np.array([draw(st.floats(0.01, 10.0))
-                                for _ in range(n_obs)]))
-    return make_pipeline_run(ops, K, parents=parents, drivers=drivers,
-                             E0=e0, times=times)
 
 
 @given(random_pipeline())
@@ -94,31 +67,6 @@ def test_getnext_estimators_monotone_under_monotone_counters(pr):
     for estimator in MONOTONE_ESTIMATORS:
         values = estimator.estimate(pr)
         assert (np.diff(values) >= -1e-9).all(), estimator.name
-
-
-@st.composite
-def random_observation_log(draw):
-    """Random monotone trajectories recorded through the real log path."""
-    ops = [Op.FILTER, Op.INDEX_SCAN]
-    m = len(ops)
-    n_obs = draw(st.integers(2, 15))
-    store = CounterStore(m)
-    log = ObservationLog(m)
-    now = 0.0
-    totals = np.array([draw(st.floats(1.0, 1e4)) for _ in range(m)])
-    for _ in range(n_obs):
-        now += draw(st.floats(0.01, 5.0))
-        store.K += np.array([draw(st.floats(0.0, 1e3)) for _ in range(m)])
-        store.R += np.array([draw(st.floats(0.0, 1e5)) for _ in range(m)])
-        # per node, either a finite bound (K plus random slack — possibly
-        # tight) or the unbounded sentinel, so bound-interval estimators
-        # see both regimes
-        slack = np.array([
-            draw(st.one_of(st.floats(0.0, 1e4), st.just(UNBOUNDED)))
-            for _ in range(m)])
-        log.snapshot(now, store, store.K.copy(),
-                     np.minimum(store.K + slack, UNBOUNDED))
-    return log, totals
 
 
 @given(random_observation_log())

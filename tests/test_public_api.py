@@ -26,7 +26,8 @@ class TestPublicAPI:
         "repro.catalog", "repro.datagen", "repro.query", "repro.plan",
         "repro.engine", "repro.optimizer", "repro.progress",
         "repro.features", "repro.learning", "repro.core",
-        "repro.workloads", "repro.experiments",
+        "repro.workloads", "repro.experiments", "repro.trace",
+        "repro.service", "repro.fuzz",
     ])
     def test_subpackages_importable(self, module):
         mod = importlib.import_module(module)
@@ -35,6 +36,7 @@ class TestPublicAPI:
     @pytest.mark.parametrize("module", [
         "repro.catalog", "repro.engine", "repro.progress", "repro.core",
         "repro.learning", "repro.features", "repro.workloads",
+        "repro.fuzz",
     ])
     def test_subpackage_all_resolvable(self, module):
         mod = importlib.import_module(module)

@@ -21,7 +21,7 @@ from repro.progress.registry import all_estimators
 from repro.trace import TRACE_FORMAT_VERSION, read_trace
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
-FAMILIES = ("tpch", "tpcds", "real")
+FAMILIES = ("tpch", "tpcds", "real", "fuzz")
 
 ESTIMATORS = all_estimators(include_worst_case=True)
 
