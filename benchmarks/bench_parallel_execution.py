@@ -1,0 +1,101 @@
+"""Parallel cold-bundle execution: the runtime fan-out vs. the serial loop.
+
+The runtime (:mod:`repro.runtime`) partitions a workload's queries into
+contiguous slices, executes each slice in a worker process, and merges
+the results in query order through the trace-format transport.  This
+file measures that lever on one *cold* workload — the trace store is
+explicitly disabled (``NO_TRACE_STORE``) so even under a populated
+``REPRO_TRACE_DIR`` both paths really execute — and locks its two
+contracts:
+
+* **bit-identity** — the parallel ``runs`` list and every derived
+  TrainingData matrix equal serial execution exactly, on any machine;
+* **speedup** — with 4 workers on >= 4 cores, cold wall-clock must drop
+  by >= 1.5x (the workers re-build the deterministic bundle, so the
+  bound accounts for that duplicated setup cost).
+
+Unlike the other benchmarks this one pins its own scale: the timing only
+means something when execution dominates pool startup and the workers'
+bundle rebuilds, so it always runs the ``paper`` profile's largest
+workload (~seconds of serial execution) regardless of ``REPRO_SCALE``.
+
+Acceptance: >= 1.5x at 4 workers (asserted when the host has the cores).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.experiments.harness import NO_TRACE_STORE, ExperimentHarness
+from repro.experiments.results import format_table, save_result
+from repro.experiments.scale import PAPER
+from repro.runtime import available_cpus
+
+WORKLOAD = "tpch_untuned"
+JOBS = 4
+REQUIRED_SPEEDUP = 1.5
+
+
+def test_parallel_execution(benchmark):
+    scale = PAPER
+    results = {}
+
+    def measure():
+        serial = ExperimentHarness(scale, seed=0, jobs=1,
+                                   trace_store=NO_TRACE_STORE)
+        started = time.perf_counter()
+        serial_runs = serial.runs(WORKLOAD)
+        serial_seconds = time.perf_counter() - started
+
+        parallel = ExperimentHarness(scale, seed=0, jobs=JOBS,
+                                     trace_store=NO_TRACE_STORE)
+        started = time.perf_counter()
+        parallel_runs = parallel.runs(WORKLOAD)
+        parallel_seconds = time.perf_counter() - started
+
+        identical = len(serial_runs) == len(parallel_runs) and all(
+            np.array_equal(a.K, b.K) and np.array_equal(a.times, b.times)
+            and np.array_equal(a.UB, b.UB) and np.array_equal(a.D, b.D)
+            and a.total_time == b.total_time and a.query_name == b.query_name
+            for a, b in zip(serial_runs, parallel_runs))
+        serial_data = serial.training_data(WORKLOAD, "dynamic")
+        parallel_data = parallel.training_data(WORKLOAD, "dynamic")
+        data_identical = (
+            np.array_equal(serial_data.X, parallel_data.X)
+            and np.array_equal(serial_data.errors_l1, parallel_data.errors_l1)
+            and np.array_equal(serial_data.errors_l2, parallel_data.errors_l2))
+        results.update(
+            serial_seconds=serial_seconds, parallel_seconds=parallel_seconds,
+            speedup=serial_seconds / max(parallel_seconds, 1e-9),
+            n_runs=len(serial_runs), jobs=JOBS, cpus=available_cpus(),
+            identical=identical, data_identical=data_identical)
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        ["serial (1 process)", f"{results['serial_seconds']:.3f}", "—"],
+        [f"parallel ({JOBS} workers)", f"{results['parallel_seconds']:.3f}",
+         f"{results['speedup']:.2f}x faster"],
+    ]
+    table = format_table(
+        ["path", "seconds", "speedup"], rows,
+        title=(f"Cold-bundle execution — workload {WORKLOAD!r}, "
+               f"{results['n_runs']} queries, scale {scale.name!r}, "
+               f"{results['cpus']} CPU(s)"))
+    print("\n" + table)
+    save_result("parallel_execution", table, results)
+
+    assert results["identical"], \
+        "parallel runs diverged from serial execution"
+    assert results["data_identical"], \
+        "parallel TrainingData diverged from serial execution"
+    if results["cpus"] < JOBS and not os.environ.get(
+            "REPRO_REQUIRE_PARALLEL_SPEEDUP"):
+        print(f"only {results['cpus']} CPU(s) available: bit-identity "
+              f"verified, speedup assertion needs >= {JOBS} cores")
+        return
+    assert results["speedup"] >= REQUIRED_SPEEDUP, (
+        f"parallel cold execution only {results['speedup']:.2f}x faster "
+        f"than serial at {JOBS} workers (need >= {REQUIRED_SPEEDUP}x)")

@@ -10,9 +10,12 @@ The package is organized bottom-up (see DESIGN.md for the full map):
 * the paper's contribution: :mod:`repro.core` (estimator selection and the
   online progress monitor);
 * persistence: :mod:`repro.trace` (recorded execution traces, replay,
-  the ``REPRO_TRACE_DIR`` cache);
+  the ``REPRO_TRACE_DIR`` cache, the ``python -m repro.trace`` store CLI);
 * serving: :mod:`repro.service` (concurrent multi-query progress service
   with batched selector scoring, live or replayed sessions);
+* parallelism: :mod:`repro.runtime` (deterministic process-pool fan-out
+  behind ``REPRO_JOBS``/``--jobs``, results crossing processes through
+  the trace format);
 * evaluation assets: :mod:`repro.workloads`, :mod:`repro.experiments`.
 
 Quickstart

@@ -11,8 +11,19 @@ Across processes, runs are cached as recorded traces: point
 :class:`~repro.trace.store.TraceStore`) and every workload executes at
 most once per (workload, scale, seed, format-version) content key — all
 later harnesses, in any process, replay the recording instead of paying
-engine cost.  Replayed runs are bit-identical to executed ones (see
-:mod:`repro.trace`), so training data and benchmark numbers are unchanged.
+engine cost.  Cold starts are single-flight across processes (claim
+files, see :meth:`TraceStore.load_or_compute`).  Replayed runs are
+bit-identical to executed ones (see :mod:`repro.trace`), so training data
+and benchmark numbers are unchanged.
+
+Cold execution itself fans out across CPU cores: set ``REPRO_JOBS``
+(or pass ``jobs=``) and the harness partitions a workload's queries into
+contiguous slices, executes each slice in a worker process, and merges
+the results in query order.  Workers rebuild the (deterministic) bundle
+from ``(scale, seed)`` and return runs through the trace transport
+(:mod:`repro.runtime.transport`) — never a pickle of engine objects — so
+the assembled ``runs`` list, every derived matrix and any recorded trace
+are bit-identical to serial execution.
 """
 
 from __future__ import annotations
@@ -32,23 +43,78 @@ from repro.engine.run import PipelineRun, QueryRun
 from repro.experiments.scale import ScaleProfile, active_scale
 from repro.features.vector import FeatureExtractor
 from repro.progress.registry import all_estimators
+from repro.runtime import (
+    partition_indices,
+    resolve_jobs,
+    run_tasks,
+    runs_from_payload,
+    runs_to_payload,
+)
 from repro.trace.format import TRACE_FORMAT_VERSION
 from repro.trace.store import TraceStore, content_key
-from repro.workloads.suite import WorkloadBundle, WorkloadSuite
+from repro.workloads.suite import SuiteScale, WorkloadBundle, WorkloadSuite
+
+
+class _NoTraceStore:
+    """Type of :data:`NO_TRACE_STORE` (a singleton sentinel)."""
+
+
+#: Pass as ``trace_store`` to force pure execution even when
+#: ``REPRO_TRACE_DIR`` is set.  ``None`` means "use the environment's
+#: store, if any"; timing benchmarks that must measure the engine rather
+#: than the cache (``bench_parallel_execution.py``) pass this instead.
+NO_TRACE_STORE = _NoTraceStore()
+
+
+def _scale_payload(scale: ScaleProfile) -> dict:
+    """A ScaleProfile as plain JSON-able data (for worker task specs)."""
+    return asdict(scale)
+
+
+def _scale_from_payload(payload: dict) -> ScaleProfile:
+    payload = dict(payload)
+    return ScaleProfile(suite=SuiteScale(**payload.pop("suite")), **payload)
+
+
+def _execute_workload_slice(task: dict) -> bytes:
+    """Pool worker: execute one contiguous query slice of a workload.
+
+    Module-level so the runtime pool can import it under any start
+    method.  The bundle is rebuilt deterministically from
+    ``(scale, seed)`` — identical to the one the serial path builds —
+    and the slice's runs travel back through the trace transport, never
+    as pickled engine objects.
+    """
+    scale = _scale_from_payload(task["scale"])
+    harness = ExperimentHarness(scale, seed=task["seed"],
+                                trace_store=NO_TRACE_STORE)
+    bundle = harness.suite.bundle(task["workload"])
+    if len(bundle.queries) != task["n_queries"]:
+        raise RuntimeError(
+            f"WorkloadSuite.query_count({task['workload']!r}) promised "
+            f"{task['n_queries']} queries but the bundle built "
+            f"{len(bundle.queries)}; update query_count to match _build, "
+            "or parallel cold starts would record truncated traces")
+    return runs_to_payload(harness._execute_bundle(bundle, task["indices"]))
 
 
 class ExperimentHarness:
     """Caches workload runs / training data for one scale profile."""
 
     def __init__(self, scale: ScaleProfile | None = None, seed: int = 0,
-                 trace_store: TraceStore | None = None):
+                 trace_store: TraceStore | _NoTraceStore | None = None,
+                 jobs: int | None = None):
         self.scale = scale or active_scale()
         self.seed = seed
+        self.jobs = jobs  # None: defer to REPRO_JOBS at execution time
         self.suite = WorkloadSuite(self.scale.suite, seed=seed)
         self.estimators = all_estimators(include_worst_case=True)
         self.estimator_names = [e.name for e in self.estimators]
-        self.trace_store = (trace_store if trace_store is not None
-                            else TraceStore.from_env())
+        if isinstance(trace_store, _NoTraceStore):
+            self.trace_store = None
+        else:
+            self.trace_store = (trace_store if trace_store is not None
+                                else TraceStore.from_env())
         self._runs: dict[str, list[QueryRun]] = {}
         self._pipelines: dict[str, list[PipelineRun]] = {}
         self._data: dict[tuple[str, str], TrainingData] = {}
@@ -104,23 +170,53 @@ class ExperimentHarness:
         every later process.
         """
         if workload not in self._runs:
-            store, key = self.trace_store, None
-            if store is not None:
-                key = self.trace_key(workload)
-                if store.exists(key):
-                    self._runs[workload] = store.load(key)
-                    return self._runs[workload]
-            bundle = self.suite.bundle(workload)
-            self._runs[workload] = self._execute_bundle(bundle)
-            if store is not None:
-                store.save(key, self._runs[workload],
-                           meta={"workload": workload, "seed": self.seed,
-                                 "scale": self.scale.name})
+            store = self.trace_store
+            if store is None:
+                self._runs[workload] = self._execute_workload(workload)
+            else:
+                self._runs[workload], _ = store.load_or_compute(
+                    self.trace_key(workload),
+                    lambda: self._execute_workload(workload),
+                    meta={"workload": workload, "seed": self.seed,
+                          "scale": self.scale.name})
         return self._runs[workload]
 
-    def _execute_bundle(self, bundle: WorkloadBundle) -> list[QueryRun]:
+    def _execute_workload(self, workload: str) -> list[QueryRun]:
+        """Execute a whole workload, fanning out across worker processes.
+
+        With ``jobs <= 1`` this is the classic serial path.  Otherwise
+        the query indices are partitioned into contiguous slices, each
+        worker rebuilds the bundle and executes its slice, and the
+        returned runs are concatenated in partition order — which *is*
+        query order, so the result is bit-identical to serial execution.
+        The parent never builds the bundle in parallel mode; the workers'
+        rebuilds overlap with each other instead of adding to the
+        critical path.
+        """
+        n_queries = self.suite.query_count(workload)
+        jobs = min(resolve_jobs(self.jobs), n_queries)
+        if jobs <= 1:
+            return self._execute_bundle(self.suite.bundle(workload))
+        parts = partition_indices(n_queries, jobs)
+        tasks = [{"workload": workload, "seed": self.seed, "indices": part,
+                  "n_queries": n_queries,  # workers re-check vs the bundle
+                  "scale": _scale_payload(self.scale)}
+                 for part in parts]
+        payloads = run_tasks(_execute_workload_slice, tasks, jobs=jobs)
+        return [run for payload in payloads
+                for run in runs_from_payload(payload)]
+
+    def _execute_bundle(self, bundle: WorkloadBundle,
+                        indices: list[int] | None = None) -> list[QueryRun]:
+        """Plan + execute the bundle's queries at ``indices`` (default all).
+
+        ``executor_config`` is seeded by the *global* query index, so a
+        worker executing a slice produces exactly the runs the serial
+        loop would have produced at those positions.
+        """
         runs = []
-        for i, query in enumerate(bundle.queries):
+        for i in indices if indices is not None else range(len(bundle.queries)):
+            query = bundle.queries[i]
             plan = bundle.planner.plan(query)
             executor = QueryExecutor(bundle.db, self.executor_config(i))
             runs.append(executor.execute(plan, query_name=query.name))

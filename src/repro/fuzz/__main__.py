@@ -10,18 +10,24 @@ Reproduce a CI failure (the oracle message prints this exact line)::
 
     python -m repro.fuzz --preset ci-slow --seed 2017
 
-Sweep a seed block::
+Sweep a seed block across 4 worker processes::
 
-    python -m repro.fuzz --preset ci-fast --seed 100 --scenarios 25
+    python -m repro.fuzz --preset ci-fast --seed 100 --scenarios 25 --jobs 4
+
+Run a preset's whole default seed matrix (what CI gates on)::
+
+    python -m repro.fuzz --preset ci-fast --jobs 4
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.fuzz.harness import PRESETS, preset, run_fuzz
 from repro.fuzz.oracle import OracleViolation
+from repro.runtime import resolve_jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -29,23 +35,46 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.fuzz",
         description="Seeded ad-hoc workload fuzzer with a cross-layer "
                     "differential oracle.")
-    parser.add_argument("--seed", type=int, required=True,
-                        help="first scenario seed")
-    parser.add_argument("--scenarios", type=int, default=1,
-                        help="number of consecutive seeds to run (default 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="first scenario seed (default: the preset's "
+                             "seed-matrix base)")
+    parser.add_argument("--scenarios", type=int, default=None,
+                        help="number of consecutive seeds to run (default: "
+                             "1 with --seed, else the preset's full matrix)")
     parser.add_argument("--preset", choices=sorted(PRESETS), default="default",
                         help="scenario-shaping preset (default 'default')")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep (default "
+                             "REPRO_JOBS, else 1; 0 = one per CPU)")
+    parser.add_argument("--require-hard-regimes", action="store_true",
+                        help="fail unless the sweep exercised spills and "
+                             "all three design levels (the CI matrix gate)")
     args = parser.parse_args(argv)
 
     config = preset(args.preset)
-    seeds = range(args.seed, args.seed + args.scenarios)
+    base = args.seed if args.seed is not None else config.seed_base
+    count = args.scenarios if args.scenarios is not None else (
+        1 if args.seed is not None else config.seed_count)
+    jobs = resolve_jobs(args.jobs)
+    seeds = range(base, base + count)
+    started = time.perf_counter()
     try:
-        report = run_fuzz(seeds, config,
-                          on_scenario=lambda s: print(f"ok  {s.describe()}"))
+        report = run_fuzz(seeds, config, jobs=jobs,
+                          on_scenario=lambda s: print(f"ok  {s.describe()}",
+                                                      flush=True))
     except OracleViolation as violation:
         print(f"FAIL {violation}", file=sys.stderr)
         return 1
+    elapsed = time.perf_counter() - started
+    if args.require_hard_regimes:
+        try:
+            report.check_hard_regimes()
+        except AssertionError as weak:
+            print(f"FAIL matrix went soft: {weak}", file=sys.stderr)
+            return 1
     print(report.describe())
+    print(f"swept seeds {base}..{base + count - 1} in {elapsed:.1f}s "
+          f"with {min(jobs, count)} worker(s)")
     return 0
 
 

@@ -11,12 +11,15 @@ whole query batch.
 
 ``python -m repro.fuzz --preset <name> --seed <seed>`` re-runs any
 scenario; oracle failures embed exactly that command in their message, so
-a red CI log line is a one-paste local reproduction.
+a red CI log line is a one-paste local reproduction.  Sweeps parallelize
+with ``--jobs N`` (or ``REPRO_JOBS``): scenarios are independent by
+construction, so :func:`run_fuzz` fans seeds out across worker processes
+and still reports — and fails — in seed order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -29,6 +32,7 @@ from repro.features.vector import FeatureExtractor
 from repro.fuzz.generate import generate_fuzz_database, generate_fuzz_queries
 from repro.fuzz.oracle import (
     OracleContext,
+    OracleViolation,
     check_engine_output,
     check_progress_invariants,
     check_service_parity,
@@ -43,6 +47,7 @@ from repro.optimizer.physical_design import (
 )
 from repro.optimizer.planner import Planner
 from repro.progress.registry import all_estimators
+from repro.runtime import resolve_jobs, run_tasks
 from repro.trace.replay import replay_monitor
 
 _DESIGN_LEVELS = (DesignLevel.UNTUNED, DesignLevel.PARTIAL, DesignLevel.FULL)
@@ -63,16 +68,25 @@ class FuzzConfig:
     train_selectors: bool = False
     selector_trees: int = 6
     selector_leaves: int = 4
+    #: the preset's default seed matrix: what ``python -m repro.fuzz``
+    #: sweeps when invoked with no ``--seed`` (e.g. the full ci-fast CI
+    #: gate is just ``python -m repro.fuzz --preset ci-fast --jobs 4``)
+    seed_base: int = 0
+    seed_count: int = 1
 
 
 PRESETS: dict[str, FuzzConfig] = {
     "default": FuzzConfig(),
+    # seed matrix matches tests/test_fuzz.py::FAST_SEEDS
     "ci-fast": FuzzConfig(name="ci-fast", rows_lo=200, rows_hi=600,
                           queries_lo=2, queries_hi=3,
-                          target_observations=50),
+                          target_observations=50,
+                          seed_base=100, seed_count=25),
+    # seed matrix matches the default FUZZ_SEED_BASE block of the slow job
     "ci-slow": FuzzConfig(name="ci-slow", rows_lo=400, rows_hi=1500,
                           queries_lo=3, queries_hi=5,
-                          target_observations=90, train_selectors=True),
+                          target_observations=90, train_selectors=True,
+                          seed_base=2000, seed_count=12),
 }
 
 #: The four oracle layers a scenario must pass.
@@ -126,6 +140,30 @@ class FuzzReport:
         checks = "  ".join(f"{k}:{v}" for k, v in self.layer_checks().items())
         return (f"{self.n_scenarios} scenarios, 0 violations "
                 f"(oracle checks — {checks})")
+
+    def check_hard_regimes(self) -> None:
+        """Raise unless the batch exercised the regimes the CI seed
+        matrices are chosen for — every oracle layer on every scenario,
+        at least one spill-forcing memory grant, and all three physical-
+        design levels.  This is what keeps a green sweep meaningful: a
+        generator change that quietly stops producing the hard cases
+        fails here instead of passing vacuously (the CLI's
+        ``--require-hard-regimes`` gates CI on it)."""
+        checks = self.layer_checks()
+        for layer in ORACLE_LAYERS:
+            if checks[layer] < self.n_scenarios:
+                raise AssertionError(
+                    f"oracle layer {layer!r} ran {checks[layer]} checks "
+                    f"over {self.n_scenarios} scenarios; every scenario "
+                    f"must pass every layer")
+        if not any(s.spill_events for s in self.scenarios):
+            raise AssertionError(
+                "no scenario forced a spill; shrink the memory grants")
+        designs = {s.design for s in self.scenarios}
+        if designs != {"untuned", "partial", "full"}:
+            raise AssertionError(
+                f"scenarios only exercised designs {sorted(designs)}; "
+                f"the matrix must cover untuned, partial and full")
 
 
 def _monitored_execute(db, plan, query_name: str, config: ExecutorConfig,
@@ -251,16 +289,55 @@ def run_scenario(seed: int, config: FuzzConfig | None = None
     )
 
 
+def _scenario_task(task: dict) -> dict:
+    """Pool worker: one scenario per task, violations returned as data.
+
+    Module-level for the runtime pool.  An
+    :class:`~repro.fuzz.oracle.OracleViolation` is demoted to a payload
+    (its message already embeds the per-seed repro command) so it crosses
+    the process boundary verbatim instead of as a pickled traceback.
+    """
+    config = FuzzConfig(**task["config"])
+    try:
+        scenario = run_scenario(task["seed"], config)
+    except OracleViolation as violation:
+        return {"violation": violation.to_payload()}
+    return {"scenario": asdict(scenario)}
+
+
 def run_fuzz(seeds, config: FuzzConfig | None = None,
-             on_scenario=None) -> FuzzReport:
-    """Run a batch of scenarios; the first oracle violation propagates."""
+             on_scenario=None, jobs: int | None = None) -> FuzzReport:
+    """Run a batch of scenarios; the first oracle violation propagates.
+
+    ``jobs`` > 1 sweeps the seeds across worker processes.  Results are
+    merged (and ``on_scenario`` streamed) in seed order, and the raised
+    violation is always the earliest seed's — so a parallel sweep fails
+    identically to the serial one, per-seed repro command included.
+    ``jobs=None`` defers to ``REPRO_JOBS`` (default serial).
+    """
     config = config or PRESETS["default"]
+    seeds = [int(seed) for seed in seeds]
     report = FuzzReport()
-    for seed in seeds:
-        scenario = run_scenario(int(seed), config)
+    jobs = min(resolve_jobs(jobs), max(len(seeds), 1))
+    if jobs <= 1:
+        for seed in seeds:
+            scenario = run_scenario(seed, config)
+            report.scenarios.append(scenario)
+            if on_scenario is not None:
+                on_scenario(scenario)
+        return report
+
+    tasks = [{"seed": seed, "config": asdict(config)} for seed in seeds]
+
+    def collect(index: int, result: dict) -> None:
+        if "violation" in result:  # aborts the remaining futures
+            raise OracleViolation.from_payload(result["violation"])
+        scenario = ScenarioReport(**result["scenario"])
         report.scenarios.append(scenario)
         if on_scenario is not None:
             on_scenario(scenario)
+
+    run_tasks(_scenario_task, tasks, jobs=jobs, on_result=collect)
     return report
 
 

@@ -77,6 +77,21 @@ class OracleViolation(AssertionError):
                    f"  reproduce with: {ctx.repro}")
         super().__init__(message)
 
+    def to_payload(self) -> dict:
+        """Plain data for crossing a process boundary (parallel sweeps)."""
+        return {"layer": self.layer, "seed": self.seed,
+                "message": str(self)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "OracleViolation":
+        """Rebuild a worker's violation verbatim (message already carries
+        the repro command, so it is not re-derived)."""
+        violation = cls.__new__(cls)
+        violation.layer = payload["layer"]
+        violation.seed = payload["seed"]
+        AssertionError.__init__(violation, payload["message"])
+        return violation
+
 
 def _require(condition: bool, layer: str, ctx: OracleContext,
              detail: str) -> None:

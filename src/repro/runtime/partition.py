@@ -1,0 +1,32 @@
+"""Deterministic work partitioning.
+
+The merge-in-order guarantee of the runtime rests on one property: the
+partition of ``range(n)`` into worker slices is a pure function of
+``(n, parts)``.  Contiguous balanced slices keep that property *and* make
+the merge trivial — concatenating the slices in partition order yields
+``range(n)`` back, so results never need re-sorting.
+"""
+
+from __future__ import annotations
+
+
+def partition_indices(n: int, parts: int) -> list[list[int]]:
+    """Split ``range(n)`` into at most ``parts`` contiguous balanced slices.
+
+    Mirrors ``np.array_split`` semantics (the first ``n % parts`` slices
+    get one extra element) but returns plain int lists and drops empty
+    slices, so ``parts > n`` degrades to one singleton slice per index.
+    Concatenating the result in order reproduces ``range(n)`` exactly.
+    """
+    if n < 0:
+        raise ValueError(f"cannot partition a negative index count ({n})")
+    if parts < 1:
+        raise ValueError(f"need at least one part, got {parts}")
+    parts = min(parts, n)
+    slices: list[list[int]] = []
+    start = 0
+    for p in range(parts):
+        size = n // parts + (1 if p < n % parts else 0)
+        slices.append(list(range(start, start + size)))
+        start += size
+    return slices

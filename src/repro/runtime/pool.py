@@ -1,0 +1,105 @@
+"""The order-preserving process pool.
+
+:func:`run_tasks` is the one execution primitive every orchestration
+layer shares.  Its contract:
+
+* results come back **in task order**, regardless of completion order;
+* ``jobs <= 1`` (or a single task) runs **inline** in the calling
+  process — no pool, no IPC — so the serial path and the parallel path
+  are the same code with the same output;
+* the optional ``on_result`` callback streams ``(index, result)`` pairs
+  *in task order* as they become available (a reorder buffer, not a
+  completion race), and may raise to abort the remaining work;
+* worker exceptions propagate to the caller; later tasks are cancelled.
+
+Tasks and results must be plain picklable data — engine objects cross
+the boundary through :mod:`repro.runtime.transport` instead.  Worker
+callables must be importable module-level functions (a hard requirement
+of the ``spawn`` start method, and good hygiene under ``fork`` too).
+
+``REPRO_JOBS`` is the fleet-wide default knob: unset means serial,
+``auto``/``0`` means one worker per CPU, any positive integer is taken
+literally.  Explicit ``jobs=``/``--jobs`` arguments always win over the
+environment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (``os.cpu_count`` floor-ed at 1)."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Turn an explicit ``jobs`` argument or ``REPRO_JOBS`` into a count.
+
+    Precedence: explicit argument > ``REPRO_JOBS`` > serial (1).  Both
+    accept ``0`` (and the env var additionally ``auto``) as "one worker
+    per CPU"; anything else must be a positive integer.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip().lower()
+        if not raw:
+            return 1
+        if raw == "auto":
+            return available_cpus()
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be a positive integer, 0 or 'auto'; "
+                f"got {raw!r}") from None
+    if jobs == 0:
+        return available_cpus()
+    if jobs < 0:
+        raise ValueError(f"worker count must be >= 0, got {jobs}")
+    return jobs
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where available (cheap, inherits warm imports), else
+    ``spawn`` — workers rebuild all state from their task payloads, so
+    the start method never affects results."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_tasks(worker: Callable[[Any], Any], tasks: Sequence[Any],
+              jobs: int | None = None,
+              on_result: Callable[[int, Any], None] | None = None
+              ) -> list[Any]:
+    """Execute ``worker(task)`` for every task; results in task order."""
+    tasks = list(tasks)
+    jobs = min(resolve_jobs(jobs), max(len(tasks), 1))
+    if jobs <= 1 or len(tasks) <= 1:
+        results = []
+        for i, task in enumerate(tasks):
+            result = worker(task)
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
+    results = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=_mp_context()) as pool:
+        futures = [pool.submit(worker, task) for task in tasks]
+        try:
+            for i, future in enumerate(futures):
+                results[i] = future.result()
+                if on_result is not None:
+                    on_result(i, results[i])
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    return results

@@ -1,0 +1,68 @@
+"""Crossing process boundaries through the trace format.
+
+Workers never pickle engine objects.  A slice of executed
+:class:`~repro.engine.run.QueryRun` results is encoded with the exact
+codec the on-disk traces use (:func:`repro.trace.format.run_to_manifest`
+/ :func:`run_to_members`) into one ``bytes`` payload::
+
+    [8-byte little-endian header length][JSON header][npz member blob]
+
+The header carries the trace ``format_version`` plus the per-run manifest
+entries; the blob is an *uncompressed* ``.npz`` (compression buys nothing
+for a same-machine pipe and costs CPU).  Because the codec round-trips
+float64/bool arrays bit-exactly, a run received from a worker is
+indistinguishable from one executed locally — the same guarantee replay
+already makes, reused as IPC.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from repro.engine.run import QueryRun
+from repro.trace.format import (
+    TRACE_FORMAT_VERSION,
+    check_trace_version,
+    run_from_members,
+    run_to_manifest,
+    run_to_members,
+)
+
+_LENGTH_BYTES = 8
+
+
+def runs_to_payload(runs: list[QueryRun]) -> bytes:
+    """Encode executed runs as one self-describing bytes payload."""
+    entries = []
+    members: dict[str, np.ndarray] = {}
+    for i, run in enumerate(runs):
+        entry = run_to_manifest(run)
+        entry["prefix"] = f"r{i:04d}_"
+        members.update(run_to_members(run, entry["prefix"]))
+        entries.append(entry)
+    blob = io.BytesIO()
+    np.savez(blob, **members)
+    header = json.dumps({
+        "format_version": TRACE_FORMAT_VERSION,
+        "runs": entries,
+    }).encode()
+    return (len(header).to_bytes(_LENGTH_BYTES, "little")
+            + header + blob.getvalue())
+
+
+def runs_from_payload(payload: bytes) -> list[QueryRun]:
+    """Decode a :func:`runs_to_payload` payload back into runs."""
+    if len(payload) < _LENGTH_BYTES:
+        raise ValueError("truncated run payload: missing header length")
+    header_len = int.from_bytes(payload[:_LENGTH_BYTES], "little")
+    body_start = _LENGTH_BYTES + header_len
+    if len(payload) < body_start:
+        raise ValueError("truncated run payload: missing header")
+    header = json.loads(payload[_LENGTH_BYTES:body_start].decode())
+    check_trace_version(header)
+    with np.load(io.BytesIO(payload[body_start:])) as members:
+        return [run_from_members(entry, members, entry["prefix"])
+                for entry in header["runs"]]

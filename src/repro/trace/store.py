@@ -16,6 +16,11 @@ experiment harness and every benchmark warm-start across processes.
 
 Writes go to a temp directory first and are renamed into place, so a
 killed process never leaves a half-written trace behind a valid manifest.
+Cold starts are additionally *single-flight*: ``load_or_compute`` guards
+each missing key with a claim file, so concurrent processes warming the
+same key execute it once instead of N times (see
+:meth:`TraceStore.load_or_compute`).  ``python -m repro.trace`` lists,
+verifies and garbage-collects a store from the command line.
 """
 
 from __future__ import annotations
@@ -25,8 +30,9 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -41,6 +47,7 @@ from repro.trace.format import (
 
 MANIFEST_NAME = "manifest.json"
 RUNS_NAME = "runs.npz"
+CLAIM_SUFFIX = ".claim"
 
 #: Environment variable naming the shared trace cache directory.
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
@@ -50,6 +57,14 @@ def content_key(payload: dict[str, Any]) -> str:
     """Stable short hash of a JSON-able parameter dict."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _content_digest(npz_path: Path, entries: list[dict]) -> str:
+    """Digest of one trace's payload: raw npz bytes + canonical entries."""
+    digest = hashlib.sha256(npz_path.read_bytes())
+    digest.update(json.dumps(entries, sort_keys=True,
+                             separators=(",", ":")).encode())
+    return digest.hexdigest()
 
 
 def write_trace(path: str | Path, runs: list[QueryRun],
@@ -79,15 +94,33 @@ def write_trace(path: str | Path, runs: list[QueryRun],
         "format_version": TRACE_FORMAT_VERSION,
         "meta": meta or {},
         "runs": entries,
+        # content digest over the npz bytes + the run entries, so
+        # `python -m repro.trace verify` can detect bit-rot or tampering
+        # (absent from pre-digest recordings; readers never require it)
+        "integrity": {"algo": "sha256",
+                      "digest": _content_digest(tmp / RUNS_NAME, entries)},
     }
     (tmp / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
-    if path.exists():
-        shutil.rmtree(path)
-    try:
-        os.replace(tmp, path)
-    except OSError:
-        # a concurrent writer renamed its copy in between: keep theirs
-        shutil.rmtree(tmp, ignore_errors=True)
+    # Rename into place without ever deleting a *shared* path: an existing
+    # trace is first rotated onto a process-private graveyard name, so
+    # concurrent writers only ever rmtree directories they themselves
+    # created (deleting `path` directly would race another writer's
+    # rename and can fail half-way, leaving a corrupt trace visible).
+    for attempt in range(8):
+        try:
+            os.replace(tmp, path)
+            return path
+        except OSError:
+            pass  # path exists and is non-empty: rotate it aside
+        graveyard = path.parent / f".{path.name}.old-{os.getpid()}-{attempt}"
+        try:
+            os.rename(path, graveyard)
+        except OSError:
+            continue  # another writer rotated it first; retry the replace
+        shutil.rmtree(graveyard, ignore_errors=True)
+    # contended beyond reason: a concurrent writer's copy is in place and
+    # equivalent by construction of the content key — keep theirs
+    shutil.rmtree(tmp, ignore_errors=True)
     return path
 
 
@@ -99,13 +132,26 @@ def read_manifest(path: str | Path) -> dict[str, Any]:
 
 
 def read_trace(path: str | Path) -> tuple[list[QueryRun], dict[str, Any]]:
-    """Replay every run recorded at ``path``; returns (runs, manifest)."""
+    """Replay every run recorded at ``path``; returns (runs, manifest).
+
+    Retries briefly on a vanished file: a concurrent ``write_trace`` to
+    the same path rotates the old directory aside for a moment before
+    the fresh copy lands, so a reader can catch the gap between opening
+    the manifest and opening ``runs.npz``.  The replacement is equivalent
+    content (that is the content-key contract), so retrying is correct.
+    """
     path = Path(path)
-    manifest = read_manifest(path)
-    with np.load(path / RUNS_NAME) as members:
-        runs = [run_from_members(entry, members, entry["prefix"])
-                for entry in manifest["runs"]]
-    return runs, manifest
+    for attempt in range(5):
+        try:
+            manifest = read_manifest(path)
+            with np.load(path / RUNS_NAME) as members:
+                runs = [run_from_members(entry, members, entry["prefix"])
+                        for entry in manifest["runs"]]
+            return runs, manifest
+        except FileNotFoundError:
+            if attempt == 4:
+                raise
+            time.sleep(0.01 * (attempt + 1))
 
 
 class TraceStore:
@@ -144,3 +190,111 @@ class TraceStore:
 
     def manifest(self, key: str) -> dict[str, Any]:
         return read_manifest(self.path(key))
+
+    def size_bytes(self, key: str) -> int:
+        """Total on-disk size of one recorded trace."""
+        return sum(p.stat().st_size for p in self.path(key).glob("*")
+                   if p.is_file())
+
+    # -- single-flight cold starts ----------------------------------------
+    #
+    # Concurrent processes cold-starting the same content key would each
+    # pay the full execution and then race the rename in write_trace —
+    # harmless for correctness (the key guarantees equivalent content) but
+    # N× the work.  A *claim file* next to the trace directory makes the
+    # cold start single-flight: the first process to O_EXCL-create the
+    # claim executes; everyone else polls until the manifest appears and
+    # replays.  A claim older than ``stale_after`` is presumed orphaned
+    # (its owner was killed between claiming and saving) and is stolen.
+
+    def claim_path(self, key: str) -> Path:
+        return self.root / f".{key}{CLAIM_SUFFIX}"
+
+    def claims(self) -> list[Path]:
+        """Outstanding (possibly stale) claim files in this store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f".*{CLAIM_SUFFIX}"))
+
+    def staging_dirs(self) -> list[Path]:
+        """Hidden in-progress (or orphaned) write_trace work dirs —
+        ``.tmp-`` staging copies and ``.old-`` rotation graveyards."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for pattern in (".*.tmp-*", ".*.old-*")
+                      for p in self.root.glob(pattern) if p.is_dir())
+
+    def _try_claim(self, key: str) -> bool:
+        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(self.claim_path(key),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            json.dump({"pid": os.getpid(), "claimed_at": time.time()}, handle)
+        return True
+
+    def release_claim(self, key: str) -> None:
+        self.claim_path(key).unlink(missing_ok=True)
+
+    def _steal_claim(self, key: str, observed_mtime: float) -> None:
+        """Remove a stale claim — but only if it is still the claim we
+        observed.  A waiter preempted between its staleness check and the
+        removal must not delete a *fresh* claim some new owner created in
+        between (the mtime re-check catches that; a fresh claim is always
+        newer).  The instruction-scale window that remains can at worst
+        cause a duplicate computation, which is benign: same-key saves
+        are content-equivalent and ``write_trace`` is concurrent-safe.
+        """
+        try:
+            if self.claim_path(key).stat().st_mtime == observed_mtime:
+                self.release_claim(key)
+        except OSError:
+            pass  # already released or stolen by another waiter
+
+    def load_or_compute(self, key: str,
+                        compute: Callable[[], list[QueryRun]],
+                        meta: dict[str, Any] | None = None, *,
+                        timeout: float = 600.0,
+                        stale_after: float = 600.0,
+                        poll_interval: float = 0.02
+                        ) -> tuple[list[QueryRun], str]:
+        """Load ``key``, or single-flight ``compute()`` + record it.
+
+        Returns ``(runs, source)`` with ``source`` one of ``"hit"`` (the
+        trace existed, or a concurrent winner recorded it while we
+        waited) or ``"computed"`` (this process executed).  Among any
+        number of concurrent callers for a missing key, exactly one
+        computes; the rest wait up to ``timeout`` seconds and replay the
+        winner's recording.  If ``compute`` raises, the claim is released
+        so a waiting process can take over.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            if self.exists(key):
+                return self.load(key), "hit"
+            if self._try_claim(key):
+                try:
+                    if self.exists(key):
+                        # a winner finished between our exists() check and
+                        # the claim: replay its recording
+                        return self.load(key), "hit"
+                    runs = compute()
+                    self.save(key, runs, meta=meta)
+                finally:
+                    self.release_claim(key)
+                return runs, "computed"
+            try:
+                claim_mtime = self.claim_path(key).stat().st_mtime
+            except OSError:  # holder just released; re-check immediately
+                continue
+            if time.time() - claim_mtime > stale_after:
+                self._steal_claim(key, claim_mtime)
+                continue
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"timed out after {timeout:.0f}s waiting for another "
+                    f"process to record trace key {key!r} (claim file "
+                    f"{self.claim_path(key)}); remove the claim to retry")
+            time.sleep(poll_interval)

@@ -108,6 +108,24 @@ class WorkloadSuite:
     def bundles(self, names: list[str] | None = None) -> list[WorkloadBundle]:
         return [self.bundle(n) for n in (names or WORKLOAD_NAMES)]
 
+    def query_count(self, name: str) -> int:
+        """How many queries :meth:`bundle` would build for ``name``.
+
+        Known without materializing anything — the parallel runtime uses
+        this to partition a workload across workers before any worker
+        has built the (deterministic) bundle.
+        """
+        if name not in ALL_WORKLOAD_NAMES:
+            raise KeyError(f"unknown workload {name!r}; "
+                           f"choose from {ALL_WORKLOAD_NAMES}")
+        scale = self.scale
+        if name.startswith("tpch"):
+            return scale.tpch_queries
+        return {"tpcds": scale.tpcds_queries,
+                "adhoc_fuzz": scale.fuzz_queries,
+                "real1": scale.real1_queries,
+                "real2": scale.real2_queries}[name]
+
     # -- construction -----------------------------------------------------
 
     def _build(self, name: str) -> WorkloadBundle:

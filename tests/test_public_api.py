@@ -27,7 +27,7 @@ class TestPublicAPI:
         "repro.engine", "repro.optimizer", "repro.progress",
         "repro.features", "repro.learning", "repro.core",
         "repro.workloads", "repro.experiments", "repro.trace",
-        "repro.service", "repro.fuzz",
+        "repro.service", "repro.fuzz", "repro.runtime",
     ])
     def test_subpackages_importable(self, module):
         mod = importlib.import_module(module)
@@ -36,7 +36,7 @@ class TestPublicAPI:
     @pytest.mark.parametrize("module", [
         "repro.catalog", "repro.engine", "repro.progress", "repro.core",
         "repro.learning", "repro.features", "repro.workloads",
-        "repro.fuzz",
+        "repro.fuzz", "repro.runtime",
     ])
     def test_subpackage_all_resolvable(self, module):
         mod = importlib.import_module(module)

@@ -1,0 +1,154 @@
+"""Tests for the ``python -m repro.trace`` store-management CLI."""
+
+import io
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.trace.__main__ import main as trace_main
+from repro.trace.store import MANIFEST_NAME, RUNS_NAME, TraceStore
+
+
+@pytest.fixture()
+def store(join_run, scan_run, tmp_path):
+    store = TraceStore(tmp_path / "traces")
+    store.save("alpha", [join_run, scan_run], meta={"workload": "unit"})
+    store.save("beta", [scan_run])
+    return store
+
+
+def run_cli(store, *argv):
+    return trace_main(["--root", str(store.root), *argv])
+
+
+class TestList:
+    def test_lists_keys_with_meta_and_size(self, store, capsys):
+        assert run_cli(store, "list") == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "beta" in out
+        assert "runs=2" in out and "runs=1" in out
+        assert "workload=unit" in out
+        assert "2 trace(s)" in out
+
+    def test_marks_stale_format_versions(self, store, capsys):
+        manifest_path = store.path("beta") / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 1
+        manifest_path.write_text(json.dumps(manifest))
+        run_cli(store, "list")
+        assert "[stale format v1]" in capsys.readouterr().out
+
+    def test_empty_store(self, tmp_path, capsys):
+        assert trace_main(["--root", str(tmp_path / "void"), "list"]) == 0
+        assert "empty trace store" in capsys.readouterr().out
+
+    def test_requires_a_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        with pytest.raises(SystemExit, match="no trace store"):
+            trace_main(["list"])
+
+    def test_env_var_supplies_root(self, store, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(store.root))
+        assert trace_main(["list"]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_intact_store_verifies(self, store, capsys):
+        assert run_cli(store, "verify") == 0
+        out = capsys.readouterr().out
+        assert out.count("ok ") == 2
+        assert "2/2 trace(s) verified" in out
+
+    def test_specific_key_only(self, store, capsys):
+        assert run_cli(store, "verify", "alpha") == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "beta" not in out
+
+    def test_corrupt_member_detected(self, store, capsys):
+        npz_path = store.path("alpha") / RUNS_NAME
+        with np.load(npz_path) as members:
+            arrays = {name: members[name].copy() for name in members.files}
+        name = sorted(n for n in arrays if n.endswith("_times"))[0]
+        arrays[name] = arrays[name] + 1.0
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        npz_path.write_bytes(buffer.getvalue())
+        assert run_cli(store, "verify") == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT  alpha" in out and "digest mismatch" in out
+        assert "1/2 trace(s) verified" in out
+
+    def test_truncated_npz_detected(self, store, capsys):
+        npz_path = store.path("beta") / RUNS_NAME
+        npz_path.write_bytes(npz_path.read_bytes()[:40])
+        assert run_cli(store, "verify", "beta") == 1
+        assert "unreadable" in capsys.readouterr().out
+
+    def test_tampered_manifest_detected(self, store, capsys):
+        manifest_path = store.path("alpha") / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["runs"][0]["output_rows"] += 5
+        manifest_path.write_text(json.dumps(manifest))
+        assert run_cli(store, "verify", "alpha") == 1
+        assert "digest mismatch" in capsys.readouterr().out
+
+    def test_predigest_recordings_fall_back_to_reencode(self, store, capsys):
+        """Traces recorded before the integrity digest still verify via
+        the decode/re-encode layer."""
+        manifest_path = store.path("alpha") / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["integrity"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert run_cli(store, "verify", "alpha") == 0
+        assert "ok " in capsys.readouterr().out
+
+
+class TestGC:
+    def _age(self, path, seconds=7200):
+        stamp = time.time() - seconds
+        os.utime(path, (stamp, stamp))
+
+    def test_collects_stale_formats_staging_and_claims(self, store, capsys):
+        manifest_path = store.path("beta") / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 1
+        manifest_path.write_text(json.dumps(manifest))
+        staging = store.root / ".orphan.tmp-x"
+        staging.mkdir()
+        self._age(staging)
+        claim = store.claim_path("dead")
+        claim.write_text("{}")
+        self._age(claim)
+
+        assert run_cli(store, "gc", "--dry-run") == 0
+        out = capsys.readouterr().out
+        assert "would remove 3 item(s)" in out
+        assert store.exists("beta") and staging.is_dir() and claim.is_file()
+
+        assert run_cli(store, "gc") == 0
+        out = capsys.readouterr().out
+        assert "removed 3 item(s)" in out
+        assert "stale format v1" in out
+        assert "orphaned staging directory" in out
+        assert "stale single-flight claim" in out
+        assert not store.exists("beta")
+        assert not staging.exists() and not claim.exists()
+        assert store.exists("alpha")  # current-format traces stay
+
+    def test_fresh_staging_and_claims_kept(self, store, capsys):
+        (store.root / ".inflight.tmp-y").mkdir()
+        store.claim_path("busy").write_text("{}")
+        assert run_cli(store, "gc") == 0
+        assert "removed 0 item(s)" in capsys.readouterr().out
+        assert store.staging_dirs() and store.claims()
+
+    def test_stale_after_zero_forces_collection(self, store, capsys):
+        (store.root / ".inflight.tmp-z").mkdir()
+        time.sleep(0.02)
+        assert run_cli(store, "gc", "--stale-after", "0") == 0
+        assert "removed 1 item(s)" in capsys.readouterr().out
+        assert store.staging_dirs() == []

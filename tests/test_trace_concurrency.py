@@ -1,0 +1,179 @@
+"""Concurrent TraceStore access: rename-race safety and single-flight.
+
+Two properties keep a shared ``REPRO_TRACE_DIR`` safe under parallel
+orchestration (``run_all --jobs``, fleets of benchmark processes):
+
+* ``save``/``load``/``exists`` on the same key never corrupt each other
+  — writers stage + rename, so readers only ever see complete traces;
+* a *contended cold start* is single-flight: of N processes asking
+  ``load_or_compute`` for the same missing key, exactly one executes the
+  compute callable; the rest wait and replay its recording.
+
+The workers run under the ``fork`` start method so engine objects and
+closures cross into children by inheritance, not pickling (the
+production runtime never ships engine objects either — it uses the trace
+transport).
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.trace.store import TraceStore
+from test_trace_store import assert_runs_identical
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="inheritance-based workers need the fork start method")
+
+_CTX = (multiprocessing.get_context("fork")
+        if "fork" in multiprocessing.get_all_start_methods() else None)
+
+
+def _run_workers(target, args_per_worker):
+    procs = [_CTX.Process(target=target, args=args) for args in args_per_worker]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0, f"worker died with exit code {p.exitcode}"
+
+
+def _singleflight_worker(root, key, runs, log_path, out_path, barrier):
+    store = TraceStore(root)
+
+    def compute():
+        # O_APPEND single write: atomic on POSIX, one line per execution
+        with open(log_path, "a") as log:
+            log.write(f"{os.getpid()}\n")
+        time.sleep(0.1)  # hold the claim long enough for real contention
+        return runs
+
+    barrier.wait()
+    got, source = store.load_or_compute(key, compute, timeout=30.0)
+    Path(out_path).write_text(json.dumps(
+        {"source": source, "n_runs": len(got),
+         "names": [r.query_name for r in got]}))
+
+
+@fork_only
+class TestSingleFlight:
+    def test_contended_cold_start_executes_exactly_once(
+            self, join_run, scan_run, tmp_path):
+        n_workers = 4
+        log_path = tmp_path / "executions.log"
+        barrier = _CTX.Barrier(n_workers)
+        outs = [tmp_path / f"out{i}.json" for i in range(n_workers)]
+        _run_workers(_singleflight_worker, [
+            (str(tmp_path / "store"), "contended", [join_run, scan_run],
+             str(log_path), str(out), barrier)
+            for out in outs])
+
+        executions = log_path.read_text().splitlines()
+        assert len(executions) == 1, \
+            f"cold start ran {len(executions)} times, want exactly 1"
+        reports = [json.loads(out.read_text()) for out in outs]
+        assert sorted(r["source"] for r in reports) == \
+            ["computed"] + ["hit"] * (n_workers - 1)
+        for report in reports:
+            assert report["n_runs"] == 2
+            assert report["names"] == [join_run.query_name,
+                                       scan_run.query_name]
+        # the winner recorded; no claim survives
+        store = TraceStore(tmp_path / "store")
+        assert store.exists("contended")
+        assert store.claims() == []
+
+    def test_stale_claim_is_stolen(self, join_run, tmp_path):
+        store = TraceStore(tmp_path)
+        store.root.mkdir(exist_ok=True)
+        claim = store.claim_path("k")
+        claim.write_text("{}")
+        os.utime(claim, (time.time() - 7200, time.time() - 7200))
+        runs, source = store.load_or_compute(
+            "k", lambda: [join_run], stale_after=600.0)
+        assert source == "computed"
+        assert_runs_identical(join_run, runs[0])
+        assert store.claims() == []
+
+    def test_fresh_claim_makes_waiters_time_out(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.root.mkdir(exist_ok=True)
+        store.claim_path("k").write_text("{}")
+        with pytest.raises(TimeoutError, match="waiting for another"):
+            store.load_or_compute("k", lambda: pytest.fail("must not run"),
+                                  timeout=0.2, poll_interval=0.01)
+
+    def test_failed_compute_releases_claim(self, join_run, tmp_path):
+        store = TraceStore(tmp_path)
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            store.load_or_compute(
+                "k", lambda: (_ for _ in ()).throw(
+                    RuntimeError("engine exploded")))
+        assert store.claims() == []
+        # the key is retryable afterwards
+        runs, source = store.load_or_compute("k", lambda: [join_run])
+        assert source == "computed"
+        assert store.exists("k")
+
+    def test_hit_never_claims(self, join_run, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save("k", [join_run])
+        runs, source = store.load_or_compute(
+            "k", lambda: pytest.fail("cache hit must not recompute"))
+        assert source == "hit"
+        assert_runs_identical(join_run, runs[0])
+
+
+def _stress_worker(root, key, runs, seconds, error_path):
+    """Hammer save/load/exists on one key; record any anomaly."""
+    store = TraceStore(root)
+    errors = []
+    deadline = time.monotonic() + seconds
+    i = 0
+    while time.monotonic() < deadline:
+        try:
+            op = i % 3
+            if op == 0:
+                store.save(key, runs)
+            elif op == 1:
+                if store.exists(key):
+                    got = store.load(key)
+                    if [r.query_name for r in got] != \
+                            [r.query_name for r in runs]:
+                        errors.append(f"iteration {i}: wrong run set")
+            else:
+                store.exists(key)
+            i += 1
+        except Exception as exc:  # noqa: BLE001 — the test asserts none occur
+            errors.append(f"iteration {i}: {type(exc).__name__}: {exc}")
+            break
+    Path(error_path).write_text(json.dumps({"iterations": i,
+                                            "errors": errors}))
+
+
+@fork_only
+class TestConcurrentStress:
+    def test_save_load_exists_hammering_same_key(self, join_run, scan_run,
+                                                 tmp_path):
+        n_workers = 3
+        outs = [tmp_path / f"stress{i}.json" for i in range(n_workers)]
+        _run_workers(_stress_worker, [
+            (str(tmp_path / "store"), "hot", [join_run, scan_run], 1.0,
+             str(out))
+            for out in outs])
+        reports = [json.loads(out.read_text()) for out in outs]
+        for report in reports:
+            assert report["errors"] == []
+            assert report["iterations"] > 0
+        # the surviving trace is complete and bit-exact
+        store = TraceStore(tmp_path / "store")
+        got = store.load("hot")
+        assert_runs_identical(join_run, got[0])
+        assert_runs_identical(scan_run, got[1])
+        # rename losers' staging dirs were discarded, not leaked
+        assert store.staging_dirs() == []
