@@ -28,7 +28,6 @@ def test_greedy_feature_selection(harness, once):
         X, names = data.X, data.feature_names
         targets = data.errors_l1
         params = MARTParams(n_trees=20, max_leaves=8)
-        rng = np.random.default_rng(0)
 
         # Pre-rank candidates by absolute correlation with any error target
         # to keep the greedy scan tractable.

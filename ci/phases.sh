@@ -1,0 +1,81 @@
+# Shared CI phase timing. Source this from a workflow step, then wrap
+# commands:
+#
+#     source ci/phases.sh
+#     phase "pytest fast suite" python -m pytest -m "not slow" -q
+#
+# Timings accumulate in $PHASES_FILE (tab-separated `seconds<TAB>name`)
+# so phases recorded by *different steps* of one job aggregate — GitHub
+# runs every step in a fresh shell.  `phase_summary` prints the familiar
+# per-phase table; `phase_summary_json <out>` turns the recorded phases
+# into the machine-readable BENCH_summary.json perf artifact that both
+# CI jobs upload (same shape as the one
+# `python -m repro.experiments.run_all` writes locally).
+
+PHASES_FILE="${PHASES_FILE:-.ci-phases.tsv}"
+
+phase() {
+  local name=$1; shift
+  echo "== phase: $name =="
+  local start=$SECONDS rc=0
+  "$@" || rc=$?
+  printf '%s\t%s\n' "$((SECONDS - start))" "$name" >> "$PHASES_FILE"
+  return "$rc"
+}
+
+phase_summary() {
+  echo "== per-phase timing summary =="
+  if [ ! -f "$PHASES_FILE" ]; then
+    echo "(no phases recorded)"
+    return 0
+  fi
+  while IFS=$'\t' read -r seconds name; do
+    printf '%6ss  %s\n' "$seconds" "$name"
+  done < "$PHASES_FILE"
+}
+
+phase_summary_json() {
+  # Emits the same schema-1 field set as
+  # repro.experiments.run_all.write_bench_summary — trajectory consumers
+  # must be able to read CI and local artifacts interchangeably.  Set
+  # BENCH_JOBS to record the worker count the timed phases actually used.
+  python - "$PHASES_FILE" "$1" <<'PY'
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+phases_file, out = sys.argv[1], sys.argv[2]
+benchmarks = {}
+if os.path.exists(phases_file):
+    with open(phases_file) as handle:
+        for line in handle:
+            seconds, _, name = line.rstrip("\n").partition("\t")
+            if name:
+                benchmarks[name] = float(seconds)
+sha = os.environ.get("GITHUB_SHA")
+if not sha:
+    probe = subprocess.run(["git", "rev-parse", "HEAD"],
+                           capture_output=True, text=True)
+    sha = probe.stdout.strip() if probe.returncode == 0 else None
+summary = {
+    "schema": 1,
+    "generated_at": datetime.now(timezone.utc).isoformat(
+        timespec="seconds"),
+    "job": os.environ.get("CI_JOB_NAME", "local"),
+    "git_sha": sha,
+    "python_version": platform.python_version(),
+    "jobs": int(os.environ.get("BENCH_JOBS", "1")),
+    "scale": os.environ.get("REPRO_SCALE", "small"),
+    "benchmarks": benchmarks,
+    "phases": {},
+    "failures": [],
+}
+with open(out, "w") as handle:
+    json.dump(summary, handle, indent=2)
+    handle.write("\n")
+print(f"wrote {out} ({len(benchmarks)} phases)")
+PY
+}

@@ -16,7 +16,7 @@ the single-query path and the pooled multi-query service
 
 1. :meth:`ProgressMonitor.snapshot` runs *causally inside* the observation
    callback: it captures everything that depends on mutable executor state
-   (time, pipeline trajectories, feature vectors for any still-unmade
+   (time, per-tick counter rows, feature vectors for any still-unmade
    selection) into an immutable :class:`ReportDraft`.
 2. :meth:`ProgressMonitor.finalize` turns a draft into a
    :class:`ProgressReport`, resolving pending estimator selections through
@@ -28,6 +28,21 @@ Because the split captures state at observation time, a finalized report
 at time *t* only uses counters up to *t* regardless of when ``finalize``
 runs; the solo convenience :meth:`ProgressMonitor.run` finalizes in the
 callback and returns reports as a list.
+
+Two report-production paths share this machinery:
+
+* **incremental** (the default): drafts carry only the per-tick counter
+  deltas (a bounded number of :class:`~repro.progress.streaming.ObsTick`
+  rows, O(nodes) each) and immutable per-pipeline metadata captured once;
+  ``finalize`` folds the deltas into per-estimator *streaming states*
+  (``estimator.begin``/``advance``), so the cost of a report is
+  O(active nodes) per tick — independent of how long the query has run;
+* **batch** (``incremental=False``): the original O(history) path that
+  materializes a full :class:`~repro.engine.run.PipelineRun` per tick and
+  recomputes ``estimate(pr)[-1]``.  It is kept as the oracle — report
+  streams from both paths are bit-identical, which
+  ``benchmarks/bench_incremental_monitor.py`` and the fuzz oracle's
+  incremental layer enforce.
 """
 
 from __future__ import annotations
@@ -40,11 +55,16 @@ import numpy as np
 from repro.catalog.table import Database
 from repro.core.selection import EstimatorSelector
 from repro.engine.executor import ExecContext, ExecutorConfig, QueryExecutor
-from repro.engine.run import QueryRun
+from repro.engine.run import _MATERIALIZED_OPS, QueryRun
 from repro.features.vector import FeatureExtractor
 from repro.plan.nodes import PlanNode
 from repro.progress.base import ProgressEstimator
 from repro.progress.registry import all_estimators
+from repro.progress.streaming import (
+    ObsTick,
+    PipelineMeta,
+    tick_driver_fraction,
+)
 
 #: selector kinds a draft may reference
 STATIC, DYNAMIC = "static", "dynamic"
@@ -62,9 +82,51 @@ class ProgressReport:
     pipeline_estimator: dict[int, str] = field(default_factory=dict)
 
 
+class PipelineStreams:
+    """All candidate estimators' streaming states for one live pipeline.
+
+    Stateful estimators (``state.stateful``) must fold every captured
+    observation; memoryless ones are only evaluated at the tick a report
+    needs.  Once the pipeline's estimator selection is *final* (the
+    dynamic revision happened, or no dynamic selector exists) the
+    non-chosen states are pruned — from then on a tick costs one
+    ``advance`` of the chosen estimator.
+    """
+
+    __slots__ = ("states", "stateful", "values")
+
+    def __init__(self, estimators: dict[str, ProgressEstimator],
+                 meta: PipelineMeta):
+        self.states = {name: est.begin(meta)
+                       for name, est in estimators.items()}
+        #: last value produced by each stateful estimator's advance
+        self.values: dict[str, float] = {}
+        self._rebuild_stateful(estimators)
+
+    def _rebuild_stateful(self, estimators) -> None:
+        self.stateful = [
+            (name, estimators[name], state)
+            for name, state in self.states.items()
+            if getattr(state, "stateful", True)]
+
+    def prune(self, chosen: str, estimators) -> None:
+        """Drop every state but the committed choice's."""
+        if len(self.states) == 1:
+            return
+        self.states = {chosen: self.states[chosen]}
+        self._rebuild_stateful(estimators)
+
+
 @dataclass
 class MonitorState:
-    """Per-query mutable selection state (sticky choices + tick counter)."""
+    """Per-query mutable monitoring state.
+
+    Sticky selector choices and the tick counter (as before), plus the
+    incremental path's per-pipeline bookkeeping: the next unconsumed
+    observation-log row (``cursors``), the immutable metadata captured at
+    first sight (``metas``, shared by every queued draft), and the
+    estimator streaming states advanced at finalize time (``streams``).
+    """
 
     ticks: int = 0
     static_choices: dict[int, str] = field(default_factory=dict)
@@ -75,18 +137,29 @@ class MonitorState:
     requested: set[tuple[int, str]] = field(default_factory=set)
     #: per-pipeline ΣE weights (eq. 5), fixed once the plan is finalized
     weights: dict[int, float] | None = None
+    cursors: dict[int, int] = field(default_factory=dict)
+    metas: dict[int, PipelineMeta] = field(default_factory=dict)
+    streams: dict[int, PipelineStreams] = field(default_factory=dict)
 
 
 @dataclass
 class PipeSnapshot:
-    """Causal capture of one pipeline at one observation."""
+    """Causal capture of one pipeline at one observation.
+
+    Incremental drafts carry ``ticks`` — the observation rows appended
+    since this pipeline's previous capture, already sliced to its member
+    nodes — and never a trajectory copy, so a snapshot's size is bounded
+    by ``refresh_every`` rows of O(nodes) each regardless of query age
+    (the batch path stores the full ``pr`` instead).
+    """
 
     pid: int
     weight: float
     status: str  # "unstarted" | "done" | "short" | "running"
-    pr: object | None = None          # PipelineRun snapshot when running
+    pr: object | None = None          # PipelineRun snapshot (batch path)
     kind: str | None = None           # selector kind applying at this tick
     features: np.ndarray | None = None  # set iff a new selection is needed
+    ticks: tuple[ObsTick, ...] | None = None  # delta rows (incremental path)
 
 
 @dataclass
@@ -124,6 +197,10 @@ class ProgressMonitor:
     refresh_every:
         Recompute selections/estimates every k-th observation (estimates
         between refreshes are cheap to interpolate but we simply skip).
+    incremental:
+        Produce reports through the streaming estimator states (default).
+        ``False`` selects the original batch-recompute path, kept as the
+        bit-identical oracle the incremental path is verified against.
     """
 
     def __init__(self,
@@ -133,7 +210,8 @@ class ProgressMonitor:
                  fallback: str = "dne",
                  dynamic_percent: float = 20.0,
                  refresh_every: int = 5,
-                 on_report: Callable[[ProgressReport], None] | None = None):
+                 on_report: Callable[[ProgressReport], None] | None = None,
+                 incremental: bool = True):
         self.static_selector = static_selector
         self.dynamic_selector = dynamic_selector
         pool = estimators if estimators is not None else all_estimators()
@@ -144,6 +222,7 @@ class ProgressMonitor:
         self.dynamic_percent = dynamic_percent
         self.refresh_every = max(1, refresh_every)
         self.on_report = on_report
+        self.incremental = incremental
         self._static_extractor = FeatureExtractor("static")
         self._dynamic_extractor = FeatureExtractor(
             "dynamic", estimators=list(self.estimators.values()))
@@ -176,12 +255,16 @@ class ProgressMonitor:
         """Capture one observation of a live execution into a draft.
 
         Must run inside the observation callback: everything that reads
-        mutable executor state (clock, counter log, trajectories, feature
-        vectors) is materialized here, so the draft stays valid however
-        late it is finalized.  Feature vectors are extracted only for
-        pipelines whose selection is still open in ``state`` *at this
-        tick* — callers consult :meth:`ReportDraft.pending_selections`
-        before finalizing.
+        mutable executor state (clock, counter log, feature vectors) is
+        materialized here, so the draft stays valid however late it is
+        finalized.  Feature vectors are extracted only for pipelines whose
+        selection is still open in ``state`` *at this tick* — callers
+        consult :meth:`ReportDraft.pending_selections` before finalizing.
+
+        On the incremental path a running pipeline contributes only the
+        log rows appended since its previous capture (plus, once, its
+        immutable metadata into ``state.metas``); the batch path
+        materializes a full causal :class:`PipelineRun` as before.
         """
         if state.weights is None:
             total_e = sum(max(n.est_rows, 0.0)
@@ -190,6 +273,11 @@ class ProgressMonitor:
                 pipe.pid: sum(max(n.est_rows, 0.0)
                               for n in pipe.nodes) / total_e
                 for pipe in ctx.pipelines}
+        if self.incremental:
+            return self._snapshot_incremental(ctx, state)
+        return self._snapshot_batch(ctx, state)
+
+    def _snapshot_batch(self, ctx, state: MonitorState) -> ReportDraft:
         pipes: list[PipeSnapshot] = []
         for pipe in ctx.pipelines:
             pid = pipe.pid
@@ -206,33 +294,83 @@ class ProgressMonitor:
             if pr is None:
                 pipes.append(PipeSnapshot(pid, weight, "short"))
                 continue
-            kind, features = self._selection_needs(pr, pid, state)
+            kind, features = self._selection_needs(
+                pid, state, lambda: float(pr.driver_fraction()[-1]),
+                lambda: pr)
             pipes.append(PipeSnapshot(pid, weight, "running", pr=pr,
                                       kind=kind, features=features))
         return ReportDraft(time=float(ctx.clock.now), pipes=pipes)
 
-    def _selection_needs(self, pr, pid: int, state: MonitorState
-                         ) -> tuple[str, np.ndarray | None]:
+    def _snapshot_incremental(self, ctx, state: MonitorState) -> ReportDraft:
+        log = ctx.log
+        last_index = len(log) - 1
+        pipes: list[PipeSnapshot] = []
+        for pipe in ctx.pipelines:
+            pid = pipe.pid
+            weight = state.weights[pid]
+            started = np.isfinite(ctx.pipe_first[pid])
+            terminal_done = bool(ctx.counters.done[pipe.terminal.node_id])
+            if not started:
+                pipes.append(PipeSnapshot(pid, weight, "unstarted"))
+                continue
+            if terminal_done:
+                pipes.append(PipeSnapshot(pid, weight, "done"))
+                continue
+            start = state.cursors.get(pid)
+            if start is None:
+                # first sight of this pipeline: rows since its activity
+                # window opened (same rows the batch path's time mask
+                # selects; min_observations=2, as in live_pipeline_run)
+                start = log.start_index(float(ctx.pipe_first[pid]))
+                if last_index - start + 1 < 2:
+                    pipes.append(PipeSnapshot(pid, weight, "short"))
+                    continue
+            meta = state.metas.get(pid)
+            if meta is None:
+                meta = _pipeline_meta(ctx, pipe)
+                state.metas[pid] = meta
+            streams = state.streams.get(pid)
+            if streams is not None and not streams.stateful:
+                # no surviving state folds history — only the current row
+                # can influence the report, so skip the intermediate rows
+                start = last_index
+            ticks = tuple(_capture_tick(log.row(i), meta)
+                          for i in range(start, last_index + 1))
+            state.cursors[pid] = last_index + 1
+            kind, features = self._selection_needs(
+                pid, state, lambda: tick_driver_fraction(meta, ticks[-1]),
+                lambda: ctx.live_pipeline_run(pipe))
+            pipes.append(PipeSnapshot(pid, weight, "running", kind=kind,
+                                      features=features, ticks=ticks))
+        return ReportDraft(time=float(ctx.clock.now), pipes=pipes)
+
+    def _selection_needs(self, pid: int, state: MonitorState,
+                         fraction, make_pr) -> tuple[str, np.ndarray | None]:
         """Selector kind applying now, and the features if scoring is needed.
 
         Static choice at pipeline start, revised once at the 20% marker
-        (§4.4).  Features are extracted causally, but only while the
-        kind's sticky choice is still missing from ``state`` — once the
-        choice is committed, later snapshots carry no feature vector.
+        (§4.4).  Both expensive inputs are taken lazily: ``fraction()``
+        (the current driver fraction) is only consulted while the dynamic
+        revision is still ahead — the fraction is monotone on executed
+        trajectories, so a pipeline past the marker stays past it — and
+        ``make_pr()`` builds the full trajectory view only on the
+        at-most-two ticks per pipeline where a selection actually opens.
+        Once a kind's sticky choice is committed (or its features were
+        already captured in a queued draft), later snapshots carry no
+        feature vector.
         """
-        fraction = pr.driver_fraction()[-1]
-        if (self.dynamic_selector is not None
-                and fraction >= self.dynamic_percent / 100.0):
+        if self.dynamic_selector is not None:
             if (pid in state.dynamic_choices
                     or (pid, DYNAMIC) in state.requested):
                 return DYNAMIC, None
-            state.requested.add((pid, DYNAMIC))
-            return DYNAMIC, self._dynamic_extractor.extract(pr)
+            if fraction() >= self.dynamic_percent / 100.0:
+                state.requested.add((pid, DYNAMIC))
+                return DYNAMIC, self._dynamic_extractor.extract(make_pr())
         if (self.static_selector is None or pid in state.static_choices
                 or (pid, STATIC) in state.requested):
             return STATIC, None
         state.requested.add((pid, STATIC))
-        return STATIC, self._static_extractor.extract(pr)
+        return STATIC, self._static_extractor.extract(make_pr())
 
     # -- phase 2: finalization ----------------------------------------------
 
@@ -246,6 +384,10 @@ class ProgressMonitor:
         vector with this monitor's own selectors.  The pooled service
         pre-resolves choices into ``state`` in one batched pass, so its
         ``resolve`` is only a lookup safety net.
+
+        Incremental drafts advance the per-pipeline streaming states by
+        their delta rows; batch drafts recompute ``estimate(pr)[-1]``.
+        Drafts must be finalized in capture order (both drivers do).
         """
         if resolve is None:
             resolve = self._resolve_one
@@ -260,9 +402,17 @@ class ProgressMonitor:
             if snap.status == "done":
                 pipeline_progress[pid] = 1.0
                 overall += snap.weight
+                # the pipeline will never be captured again; release its
+                # streaming states and capture bookkeeping
+                state.streams.pop(pid, None)
+                state.metas.pop(pid, None)
+                state.cursors.pop(pid, None)
                 continue
             name = self._commit_choice(snap, state, resolve)
-            value = float(self.estimators[name].estimate(snap.pr)[-1])
+            if snap.ticks is not None:
+                value = self._advance_streams(snap, name, state)
+            else:
+                value = float(self.estimators[name].estimate(snap.pr)[-1])
             pipeline_progress[pid] = value
             overall += snap.weight * value
             if pid > active_pid:
@@ -275,6 +425,27 @@ class ProgressMonitor:
             pipeline_progress=pipeline_progress,
             pipeline_estimator=dict(state.choices),
         )
+
+    def _advance_streams(self, snap: PipeSnapshot, name: str,
+                         state: MonitorState) -> float:
+        """Fold a snapshot's delta rows into the pipeline's streams."""
+        pid = snap.pid
+        streams = state.streams.get(pid)
+        if streams is None:
+            streams = PipelineStreams(self.estimators, state.metas[pid])
+            state.streams[pid] = streams
+        # once the choice can never be revised again, stop carrying
+        # candidates: one estimator state per pipeline from here on
+        final = snap.kind == DYNAMIC or self.dynamic_selector is None
+        if final:
+            streams.prune(name, self.estimators)
+        for tick in snap.ticks:
+            for est_name, est, est_state in streams.stateful:
+                streams.values[est_name] = est.advance(est_state, tick)
+        chosen_state = streams.states[name]
+        if getattr(chosen_state, "stateful", True):
+            return streams.values[name]
+        return self.estimators[name].advance(chosen_state, snap.ticks[-1])
 
     def _commit_choice(self, snap: PipeSnapshot, state: MonitorState,
                        resolve: Callable[[str, np.ndarray], str]) -> str:
@@ -296,3 +467,65 @@ class ProgressMonitor:
         selector = (self.dynamic_selector if kind == DYNAMIC
                     else self.static_selector)
         return selector.select_one(x)
+
+
+# -- incremental capture helpers ---------------------------------------------
+
+def _pipeline_meta(ctx, pipe) -> PipelineMeta:
+    """Immutable metadata of a live pipeline, mirroring the fields
+    :func:`~repro.engine.run.live_pipeline_run` would build (same element
+    order, same float conversions — bit-identity with the batch path
+    depends on it)."""
+    members = pipe.nodes
+    local = {nid: j for j, nid in enumerate(pipe.node_ids)}
+    parent_local = np.array([
+        local.get(ctx.parents.get(n.node_id, -1), -1) for n in members],
+        dtype=np.int64)
+    driver_set = set(pipe.driver_ids)
+    mat_children = [
+        (j, node.children[0].node_id)
+        for j, node in enumerate(members)
+        if node.op in _MATERIALIZED_OPS and node.children]
+    return PipelineMeta(
+        pid=pipe.pid,
+        query_name="(online)",
+        db_name=ctx.db.name,
+        t_start=float(ctx.pipe_first[pipe.pid]),
+        node_ids=np.asarray(pipe.node_ids),
+        ops=[n.op for n in members],
+        E0=np.array([n.est_rows for n in members]),
+        widths=np.array([n.est_row_width for n in members]),
+        table_rows=np.array([
+            float(ctx.db.table(n.table).n_rows) if n.table else np.nan
+            for n in members]),
+        driver_mask=np.array([n.node_id in driver_set for n in members]),
+        parent_local=parent_local,
+        mat_children=mat_children,
+    )
+
+
+def _capture_tick(row, meta: PipelineMeta) -> ObsTick:
+    """Slice one full-width log row down to a pipeline's ObsTick.
+
+    ``N`` follows :func:`live_pipeline_run`'s ``n_partial`` rule, computed
+    from the row's recorded counters/done flags so live capture and trace
+    replay produce bit-identical ticks.
+    """
+    cols = meta.node_ids
+    k_local = row.K[cols]
+    done_local = row.D[cols]
+    n_partial = np.where(done_local, k_local, meta.E0)
+    if len(meta.mat_idx):
+        child_done = row.D[meta.mat_child_ids] & ~done_local[meta.mat_idx]
+        if child_done.any():
+            take = meta.mat_idx[child_done]
+            n_partial[take] = row.K[meta.mat_child_ids[child_done]]
+    return ObsTick(
+        time=float(row.time),
+        K=k_local,
+        R=row.R[cols],
+        W=row.W[cols],
+        LB=row.LB[cols],
+        UB=row.UB[cols],
+        N=n_partial,
+    )

@@ -8,10 +8,31 @@ every progress estimator and every dynamic feature is computed from.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from typing import NamedTuple
+
 import numpy as np
 
 #: Cap for upper bounds that are theoretically unbounded (join outputs).
 UNBOUNDED = 1.0e15
+
+
+class LogRow(NamedTuple):
+    """One observation's full-width counter snapshot (all plan nodes).
+
+    The arrays are the log's own per-snapshot copies — treat them as
+    immutable.  Both the live :class:`ObservationLog` and the replay-side
+    log expose this row shape, so the monitor's incremental capture path
+    is source-agnostic.
+    """
+
+    time: float
+    K: np.ndarray
+    R: np.ndarray
+    W: np.ndarray
+    LB: np.ndarray
+    UB: np.ndarray
+    D: np.ndarray
 
 
 class CounterStore:
@@ -75,6 +96,15 @@ class ObservationLog:
 
     def __len__(self) -> int:
         return len(self.times)
+
+    def row(self, i: int) -> LogRow:
+        """O(1) access to one recorded snapshot (no materialization)."""
+        return LogRow(self.times[i], self._K[i], self._R[i], self._W[i],
+                      self._LB[i], self._UB[i], self._D[i])
+
+    def start_index(self, t_start: float) -> int:
+        """First snapshot index with ``time >= t_start`` (times ascend)."""
+        return bisect_left(self.times, t_start)
 
     @property
     def last_time(self) -> float:

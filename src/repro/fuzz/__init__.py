@@ -2,7 +2,7 @@
 
 Submodules: :mod:`~repro.fuzz.generate` (random schemas, skewed databases
 and ad-hoc queries), :mod:`~repro.fuzz.reference` (the naive NumPy
-reference evaluator), :mod:`~repro.fuzz.oracle` (the four oracle layers)
+reference evaluator), :mod:`~repro.fuzz.oracle` (the five oracle layers)
 and :mod:`~repro.fuzz.harness` (scenario driving, presets, the repro
 command).  ``python -m repro.fuzz --seed N`` reproduces any scenario.
 """
@@ -28,6 +28,7 @@ from repro.fuzz.oracle import (
     OracleContext,
     OracleViolation,
     check_engine_output,
+    check_incremental_parity,
     check_progress_invariants,
     check_service_parity,
     check_trace_roundtrip,
@@ -51,6 +52,7 @@ __all__ = [
     "OracleContext",
     "OracleViolation",
     "check_engine_output",
+    "check_incremental_parity",
     "check_progress_invariants",
     "check_service_parity",
     "check_trace_roundtrip",

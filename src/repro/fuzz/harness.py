@@ -4,10 +4,10 @@ One *scenario* is fully determined by ``(preset, seed)``: a random schema
 and skewed database, a batch of ad-hoc queries, a random physical design,
 randomized engine knobs (batch size, a memory grant small enough to force
 spills regularly, observation cadence), one monitored live execution per
-query, and all four oracle layers of :mod:`repro.fuzz.oracle` — engine
-output vs. the NumPy reference, per-snapshot progress invariants, trace
-round-trip/replay parity, and pooled-service parity across the scenario's
-whole query batch.
+query, and all five oracle layers of :mod:`repro.fuzz.oracle` — engine
+output vs. the NumPy reference, per-snapshot progress invariants,
+incremental-vs-batch estimation parity, trace round-trip/replay parity,
+and pooled-service parity across the scenario's whole query batch.
 
 ``python -m repro.fuzz --preset <name> --seed <seed>`` re-runs any
 scenario; oracle failures embed exactly that command in their message, so
@@ -34,6 +34,7 @@ from repro.fuzz.oracle import (
     OracleContext,
     OracleViolation,
     check_engine_output,
+    check_incremental_parity,
     check_progress_invariants,
     check_service_parity,
     check_trace_roundtrip,
@@ -89,8 +90,8 @@ PRESETS: dict[str, FuzzConfig] = {
                           seed_base=2000, seed_count=12),
 }
 
-#: The four oracle layers a scenario must pass.
-ORACLE_LAYERS = ("output", "invariants", "trace", "service")
+#: The five oracle layers a scenario must pass.
+ORACLE_LAYERS = ("output", "invariants", "incremental", "trace", "service")
 
 
 def repro_command(seed: int, config: FuzzConfig) -> str:
@@ -249,6 +250,8 @@ def run_scenario(seed: int, config: FuzzConfig | None = None
         checks["output"] += 1
         check_progress_invariants(run, ctx)
         checks["invariants"] += 1
+        check_incremental_parity(run, reports, monitor, ctx)
+        checks["incremental"] += 1
         check_trace_roundtrip(run, reports, monitor, ctx)
         checks["trace"] += 1
         runs.append(run)
@@ -266,10 +269,11 @@ def run_scenario(seed: int, config: FuzzConfig | None = None
         if trained is not None:
             solo = [replay_monitor(trained, run) for run in runs]
             for run, reports in zip(runs, solo):
-                check_trace_roundtrip(
-                    run, reports, trained,
-                    OracleContext(seed=seed, repro=repro,
-                                  query=run.query_name))
+                query_ctx = OracleContext(seed=seed, repro=repro,
+                                          query=run.query_name)
+                check_incremental_parity(run, reports, trained, query_ctx)
+                checks["incremental"] += 1
+                check_trace_roundtrip(run, reports, trained, query_ctx)
                 checks["trace"] += 1
             check_service_parity(runs, solo, trained, ctx,
                                  slice_steps=slice_steps, max_live=max_live)

@@ -1,6 +1,6 @@
 """The fuzzer's cross-layer differential oracle.
 
-Every fuzz scenario is checked on four independent layers, each of which
+Every fuzz scenario is checked on five independent layers, each of which
 pins a different subsystem against a different source of truth:
 
 1. **Output** — the engine's collected result rows must match the naive
@@ -10,10 +10,15 @@ pins a different subsystem against a different source of truth:
    sane bounds, done-flag latching), every registered estimator must be
    defined, the GetNext-model family must be monotone, and the worst-case
    estimators must stay inside their feasible interval.
-3. **Trace round-trip** — recording the run and reading it back must be
+3. **Incremental parity** — every estimator's streaming path
+   (``begin``/``advance``, :mod:`repro.progress.streaming`) must reproduce
+   its batch ``estimate`` trajectory bit-for-bit on every scorable
+   pipeline, and a *batch-mode* monitor replayed over the recording must
+   emit the bit-identical report stream the incremental monitor produced.
+4. **Trace round-trip** — recording the run and reading it back must be
    bit-identical, and a monitor replayed from the recording must emit the
    bit-identical report stream the live monitor emitted.
-4. **Service parity** — scheduling the same runs through the pooled
+5. **Service parity** — scheduling the same runs through the pooled
    :class:`~repro.service.service.ProgressService` (time-sliced, batched
    selector scoring) must reproduce each solo report stream bit-identically.
 
@@ -34,7 +39,9 @@ from repro.core.monitor import ProgressMonitor, ProgressReport
 from repro.engine.counters import UNBOUNDED
 from repro.engine.run import QueryRun
 from repro.fuzz.reference import ReferenceResult, compare_output
+from repro.progress.gold import BytesProcessedOracle, GetNextOracle
 from repro.progress.registry import all_estimators
+from repro.progress.streaming import stream_estimates
 from repro.query.logical import QuerySpec
 from repro.service import ProgressService
 from repro.trace.replay import replay_monitor
@@ -52,6 +59,11 @@ MONOTONE_FUZZ = ("dne", "batch_dne", "dne_seek", "tgn_int")
 
 _ALL_ESTIMATORS = all_estimators(include_worst_case=True,
                                  include_extensions=True)
+
+#: the §6.7 idealized models join the incremental-parity sweep — their
+#: streaming path is exercised nowhere else online
+_PARITY_ESTIMATORS = _ALL_ESTIMATORS + [GetNextOracle(),
+                                        BytesProcessedOracle()]
 
 
 @dataclass(frozen=True)
@@ -188,7 +200,52 @@ def check_progress_invariants(run: QueryRun, ctx: OracleContext,
                      f"(no spills)")
 
 
-# -- layer 3: trace round-trip + replayed monitoring ------------------------
+# -- layer 3: incremental-vs-batch estimation parity ------------------------
+
+def batch_mode_clone(monitor: ProgressMonitor) -> ProgressMonitor:
+    """The same monitoring policy on the batch-recompute path."""
+    return ProgressMonitor(
+        static_selector=monitor.static_selector,
+        dynamic_selector=monitor.dynamic_selector,
+        estimators=list(monitor.estimators.values()),
+        fallback=monitor.fallback,
+        dynamic_percent=monitor.dynamic_percent,
+        refresh_every=monitor.refresh_every,
+        incremental=False)
+
+
+def check_incremental_parity(run: QueryRun,
+                             live_reports: list[ProgressReport],
+                             monitor: ProgressMonitor, ctx: OracleContext,
+                             min_observations: int = 3) -> None:
+    """Streaming estimation must match batch estimation bit-for-bit.
+
+    Two granularities: per estimator, ``advance``-accumulated trajectories
+    against ``estimate(pr)`` on every scorable pipeline; and per monitor,
+    a batch-mode replay of the whole recording against the report stream
+    the incremental monitor emitted live.
+    """
+    layer = "incremental"
+    for pr in run.pipeline_runs(min_observations=min_observations):
+        for est in _PARITY_ESTIMATORS:
+            batch = est.estimate(pr)
+            streamed = stream_estimates(est, pr)
+            if not np.array_equal(batch, streamed):
+                delta = float(np.abs(batch - streamed).max())
+                _require(False, layer, ctx,
+                         f"pid {pr.pid}: estimator {est.name!r} streaming "
+                         f"trajectory diverges from batch "
+                         f"(max |delta| = {delta:.3e})")
+    if monitor.incremental:
+        batch_reports = replay_monitor(batch_mode_clone(monitor), run)
+        _require(report_streams_equal(live_reports, batch_reports),
+                 layer, ctx,
+                 f"batch-mode monitor reports diverge from the incremental "
+                 f"stream ({len(batch_reports)} vs {len(live_reports)} "
+                 f"reports)")
+
+
+# -- layer 4: trace round-trip + replayed monitoring ------------------------
 
 def _nan_equal(a: float, b: float) -> bool:
     return (np.isnan(a) and np.isnan(b)) or a == b
@@ -254,7 +311,7 @@ def check_trace_roundtrip(run: QueryRun, live_reports: list[ProgressReport],
              f"({len(replayed_reports)} vs {len(live_reports)} reports)")
 
 
-# -- layer 4: pooled service vs. solo monitoring ----------------------------
+# -- layer 5: pooled service vs. solo monitoring ----------------------------
 
 def check_service_parity(runs: list[QueryRun],
                          solo_reports: list[list[ProgressReport]],

@@ -209,7 +209,6 @@ class Planner:
 
     def _build_join(self, query: QuerySpec, current: _SubPlan,
                     target: _SubPlan, edge: JoinEdge, table: str) -> _SubPlan:
-        cfg = self.config
         method = self._cheapest_method(current, target, edge, table)[0]
         pcol = edge.column_for(edge.other(table))
         tcol = edge.column_for(table)

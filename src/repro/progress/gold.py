@@ -12,8 +12,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.run import PipelineRun
-from repro.progress.base import ProgressEstimator, clip_progress, safe_divide
+from repro.progress.base import (
+    ProgressEstimator,
+    StreamState,
+    clip_progress,
+    safe_divide,
+)
 from repro.progress.luo import bytes_done
+from repro.progress.streaming import ObsTick, PipelineMeta
 
 
 class GetNextOracle(ProgressEstimator):
@@ -25,9 +31,25 @@ class GetNextOracle(ProgressEstimator):
         total = float(pr.N.sum())
         return clip_progress(safe_divide(pr.K.sum(axis=1), max(total, 1e-12)))
 
+    def begin(self, meta: PipelineMeta) -> StreamState:
+        return StreamState(meta)
+
+    def advance(self, state: StreamState, tick: ObsTick) -> float:
+        total = float(tick.N.sum())
+        return float(clip_progress(safe_divide(tick.K.sum(),
+                                               max(total, 1e-12))))
+
 
 class BytesProcessedOracle(ProgressEstimator):
-    """Luo's bytes model with the true total bytes substituted."""
+    """Luo's bytes model with the true total bytes substituted.
+
+    The denominator is only known once the run completes; when streaming
+    a completed run the metadata carries it
+    (:attr:`PipelineMeta.oracle_bytes_total`), and the incremental path
+    matches the batch one bit-for-bit.  Streamed *live* (no recorded
+    total) it degrades to the causal prefix the batch path would compute
+    on the same truncated trajectory — bytes so far over bytes so far.
+    """
 
     name = "bytes_oracle"
 
@@ -35,3 +57,15 @@ class BytesProcessedOracle(ProgressEstimator):
         done = bytes_done(pr)
         total = float(done[-1]) if len(done) else 0.0
         return clip_progress(safe_divide(done, max(total, 1e-12)))
+
+    def begin(self, meta: PipelineMeta) -> StreamState:
+        return StreamState(meta)
+
+    def advance(self, state: StreamState, tick: ObsTick) -> float:
+        meta = state.meta
+        mask = meta.driver_mask
+        done = (tick.K[mask] * meta.widths[mask]).sum() + tick.W.sum()
+        total = meta.oracle_bytes_total
+        if total is None:
+            total = float(done)
+        return float(clip_progress(safe_divide(done, max(total, 1e-12))))

@@ -1,0 +1,194 @@
+"""Incremental (streaming) estimation: per-tick inputs and pipeline metadata.
+
+The batch interface of :class:`~repro.progress.base.ProgressEstimator`
+(:meth:`estimate`) consumes a whole :class:`~repro.engine.run.PipelineRun`
+and recomputes every observation's estimate — O(T·m) per call, O(T²·m)
+when an online monitor calls it once per tick.  The streaming interface
+splits the same computation along the time axis:
+
+* a :class:`PipelineMeta` captures everything about a pipeline that is
+  *immutable once the pipeline starts* — operator kinds, optimizer
+  estimates, row widths, table cardinalities, the driver mask;
+* an :class:`ObsTick` carries one observation's mutable slice — the
+  counter/bound rows plus the engine's *current-knowledge* totals ``N``;
+* ``estimator.begin(meta)`` builds a per-pipeline state and
+  ``estimator.advance(state, tick)`` folds one observation into it,
+  returning the estimate at that tick in O(active nodes).
+
+The batch path stays the oracle: for every estimator, advancing a state
+over a run's ticks must reproduce ``estimate(pr)`` bit-for-bit
+(:func:`stream_estimates` is the reference driver the parity tests and
+the fuzz oracle's incremental layer use).  The helpers here mirror the
+batch formulas operation-for-operation — same masks, same reduction
+order, same ``safe_divide``/``clip`` calls — so the equality is exact,
+not approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.run import (
+    _KNOWN_SOURCE_OPS,
+    _MATERIALIZED_OPS,
+    PipelineRun,
+)
+from repro.plan.nodes import Op
+
+
+class PipelineMeta:
+    """Immutable per-pipeline metadata shared by all streaming states.
+
+    Mirrors the time-invariant fields of :class:`PipelineRun`; the derived
+    index arrays pre-resolve the per-node branches of
+    :meth:`PipelineRun.known_totals` so :func:`tick_known_totals` is a
+    couple of vectorized assignments per tick.
+    """
+
+    __slots__ = (
+        "pid", "query_name", "db_name", "t_start", "node_ids", "ops",
+        "E0", "widths", "table_rows", "driver_mask", "parent_local",
+        "materialized_bytes_est", "oracle_bytes_total",
+        "known_source_idx", "materialized_idx",
+        "mat_idx", "mat_child_ids",
+    )
+
+    def __init__(self, pid: int, query_name: str, db_name: str,
+                 t_start: float, node_ids: np.ndarray, ops: list[Op],
+                 E0: np.ndarray, widths: np.ndarray, table_rows: np.ndarray,
+                 driver_mask: np.ndarray, parent_local: np.ndarray,
+                 materialized_bytes_est: float = 0.0,
+                 oracle_bytes_total: float | None = None,
+                 mat_children: list[tuple[int, int]] | None = None):
+        self.pid = pid
+        self.query_name = query_name
+        self.db_name = db_name
+        self.t_start = t_start
+        self.node_ids = node_ids
+        self.ops = ops
+        self.E0 = E0
+        self.widths = widths
+        self.table_rows = table_rows
+        self.driver_mask = driver_mask
+        self.parent_local = parent_local
+        self.materialized_bytes_est = materialized_bytes_est
+        #: true total bytes of the pipeline, only known for *completed*
+        #: runs — lets the §6.7 Bytes-Processed oracle stream (see
+        #: :class:`~repro.progress.gold.BytesProcessedOracle`)
+        self.oracle_bytes_total = oracle_bytes_total
+        self.known_source_idx = np.array(
+            [j for j, op in enumerate(ops)
+             if op in _KNOWN_SOURCE_OPS and np.isfinite(table_rows[j])],
+            dtype=np.int64)
+        self.materialized_idx = np.array(
+            [j for j, op in enumerate(ops) if op in _MATERIALIZED_OPS],
+            dtype=np.int64)
+        # (local index, global child node id) pairs for blocking sources
+        # whose totals become exact once the *out-of-pipeline* build child
+        # finishes — consumed by the monitor's per-tick N computation
+        pairs = mat_children or []
+        self.mat_idx = np.array([j for j, _ in pairs], dtype=np.int64)
+        self.mat_child_ids = np.array([c for _, c in pairs], dtype=np.int64)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.ops)
+
+    @classmethod
+    def from_pipeline_run(cls, pr: PipelineRun) -> "PipelineMeta":
+        """Metadata of a *completed* pipeline run.
+
+        Includes the oracle byte total, so even the non-causal §6.7
+        Bytes-Processed model streams to the bit-identical trajectory its
+        batch ``estimate`` produces on this run.
+        """
+        if pr.n_observations:
+            mask = pr.driver_mask
+            oracle_bytes = float(
+                (pr.K[-1, mask] * pr.widths[mask]).sum() + pr.W[-1].sum())
+        else:
+            oracle_bytes = 0.0
+        return cls(
+            pid=pr.pid, query_name=pr.query_name, db_name=pr.db_name,
+            t_start=pr.t_start, node_ids=pr.node_ids, ops=pr.ops,
+            E0=pr.E0, widths=pr.widths, table_rows=pr.table_rows,
+            driver_mask=pr.driver_mask, parent_local=pr.parent_local,
+            materialized_bytes_est=pr.materialized_bytes_est,
+            oracle_bytes_total=oracle_bytes,
+        )
+
+
+@dataclass(slots=True)
+class ObsTick:
+    """One observation's slice of a pipeline: the streaming unit of work.
+
+    All arrays are ``(m,)`` over the pipeline's member nodes (the same
+    local order as :class:`PipelineMeta`); ``N`` is the engine's best
+    *current* knowledge of per-node totals at this tick — fixed true
+    totals when streaming a completed run, the live ``n_partial`` rule
+    (finished node → its counter, blocked source with finished build →
+    the build's counter, else ``E0``) when streaming online.
+    """
+
+    time: float
+    K: np.ndarray
+    R: np.ndarray
+    W: np.ndarray
+    LB: np.ndarray
+    UB: np.ndarray
+    N: np.ndarray
+
+
+def tick_known_totals(meta: PipelineMeta, tick: ObsTick) -> np.ndarray:
+    """Per-tick mirror of :meth:`PipelineRun.known_totals`."""
+    totals = meta.E0.copy()
+    idx = meta.known_source_idx
+    if len(idx):
+        totals[idx] = meta.table_rows[idx]
+    idx = meta.materialized_idx
+    if len(idx):
+        totals[idx] = tick.N[idx]
+    return totals
+
+
+def tick_driver_consumed(meta: PipelineMeta, tick: ObsTick,
+                         extra_mask: np.ndarray | None = None
+                         ) -> tuple[float, float]:
+    """Per-tick mirror of :func:`repro.progress.base.driver_consumed`."""
+    mask = meta.driver_mask
+    if extra_mask is not None:
+        mask = mask | extra_mask
+    totals = tick_known_totals(meta, tick)
+    denom = float(totals[mask].sum())
+    consumed = tick.K[mask].sum()
+    return consumed, denom
+
+
+def tick_driver_fraction(meta: PipelineMeta, tick: ObsTick) -> float:
+    """Per-tick mirror of :meth:`PipelineRun.driver_fraction`."""
+    consumed, denom = tick_driver_consumed(meta, tick)
+    if denom <= 0:
+        return 0.0
+    return float(np.clip(consumed / denom, 0.0, 1.0))
+
+
+def iter_ticks(pr: PipelineRun):
+    """The tick sequence of a completed run (``N`` fixed at the truth)."""
+    for t in range(pr.n_observations):
+        yield ObsTick(time=float(pr.times[t]), K=pr.K[t], R=pr.R[t],
+                      W=pr.W[t], LB=pr.LB[t], UB=pr.UB[t], N=pr.N)
+
+
+def stream_estimates(estimator, pr: PipelineRun,
+                     meta: PipelineMeta | None = None) -> np.ndarray:
+    """Drive ``estimator``'s incremental path over a completed run.
+
+    The reference driver for incremental-vs-batch parity: the returned
+    trajectory must equal ``estimator.estimate(pr)`` bit-for-bit.
+    """
+    meta = meta or PipelineMeta.from_pipeline_run(pr)
+    state = estimator.begin(meta)
+    return np.array([estimator.advance(state, tick)
+                     for tick in iter_ticks(pr)])

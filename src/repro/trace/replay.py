@@ -25,6 +25,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.engine.counters import LogRow
 from repro.engine.run import QueryRun, live_pipeline_run
 
 
@@ -101,6 +102,21 @@ class _ReplayCounters:
 class _ReplayLog:
     def __init__(self, ctx: "ReplayContext"):
         self._ctx = ctx
+
+    def __len__(self) -> int:
+        # causal length: rows up to (and including) the current observation
+        return self._ctx.observation_index + 1
+
+    def row(self, i: int) -> LogRow:
+        """One recorded snapshot, shaped like the live log's rows."""
+        run = self._ctx.run
+        return LogRow(float(run.times[i]), run.K[i], run.R[i], run.W[i],
+                      run.LB[i], run.UB[i], run.D[i])
+
+    def start_index(self, t_start: float) -> int:
+        run = self._ctx.run
+        return int(np.searchsorted(run.times[:len(self)], t_start,
+                                   side="left"))
 
     def as_arrays(self) -> dict[str, np.ndarray]:
         ctx = self._ctx

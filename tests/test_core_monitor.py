@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.monitor import ProgressMonitor
+from repro.core.monitor import MonitorState, ProgressMonitor
 from repro.core.training import collect_training_data, train_selector
-from repro.engine.executor import ExecutorConfig
+from repro.engine.executor import ExecutorConfig, QueryExecutor
 from repro.features.vector import FeatureExtractor
 from repro.learning.mart import MARTParams
 from repro.progress.registry import all_estimators
@@ -93,5 +93,112 @@ class TestProgressMonitor:
 
     def test_run_returns_standard_queryrun(self, monitored):
         run, _ = monitored
-        assert run.total_time > 0
         assert np.allclose(run.K[-1], run.N)
+        assert run.total_time > 0
+
+
+def _reports_equal(a, b):
+    return len(a) == len(b) and all(
+        x.time == y.time and x.progress == y.progress
+        and x.active_pid == y.active_pid
+        and x.active_estimator == y.active_estimator
+        and x.pipeline_progress == y.pipeline_progress
+        and x.pipeline_estimator == y.pipeline_estimator
+        for x, y in zip(a, b))
+
+
+class TestIncrementalMonitor:
+    """The streaming report path against the batch-recompute oracle."""
+
+    @pytest.mark.parametrize("refresh_every", [1, 3])
+    def test_reports_bit_identical_to_batch_path(
+            self, tpch_db, tpch_planner, join_query, trained_selectors,
+            refresh_every):
+        static_sel, dynamic_sel = trained_selectors
+        config = ExecutorConfig(batch_size=256, target_observations=60,
+                                seed=2)
+        streams = {}
+        for incremental in (True, False):
+            monitor = ProgressMonitor(static_selector=static_sel,
+                                      dynamic_selector=dynamic_sel,
+                                      refresh_every=refresh_every,
+                                      incremental=incremental)
+            plan = tpch_planner.plan(join_query)
+            _, reports = monitor.run(tpch_db, plan, config=config)
+            streams[incremental] = reports
+        assert streams[True], "incremental monitor produced no reports"
+        assert _reports_equal(streams[True], streams[False])
+
+    def test_fallback_only_pool_matches_batch(self, tpch_db, tpch_planner,
+                                              join_query):
+        config = ExecutorConfig(batch_size=256, target_observations=40,
+                                seed=3)
+        results = []
+        for incremental in (True, False):
+            monitor = ProgressMonitor(fallback="luo", refresh_every=2,
+                                      incremental=incremental)
+            _, reports = monitor.run(tpch_db, tpch_planner.plan(join_query),
+                                     config=config)
+            results.append(reports)
+        assert results[0] and _reports_equal(results[0], results[1])
+
+    def test_drafts_are_constant_sized(self, tpch_db, tpch_planner,
+                                       join_query):
+        """Regression for the hot-path allocation: an incremental draft
+        never holds a PipelineRun trajectory copy — only per-tick counter
+        deltas bounded by the refresh cadence, however old the query."""
+        refresh_every = 4
+        monitor = ProgressMonitor(refresh_every=refresh_every)
+        state = MonitorState()
+        drafts = []
+
+        def observe(ctx):
+            state.ticks += 1
+            if state.ticks % refresh_every:
+                return
+            draft = monitor.snapshot(ctx, state)
+            drafts.append(draft)
+            monitor.finalize(draft, state)
+
+        executor = QueryExecutor(
+            tpch_db, ExecutorConfig(batch_size=256, target_observations=80,
+                                    seed=4),
+            on_observation=observe)
+        executor.execute(tpch_planner.plan(join_query), "draft_size")
+        running = 0
+        for draft in drafts:
+            for snap in draft.pipes:
+                assert snap.pr is None, "incremental draft holds a PipelineRun"
+                if snap.status != "running":
+                    assert snap.ticks is None
+                    continue
+                running += 1
+                # bounded by the refresh cadence (+ the short-status rows
+                # a pipeline's first capture may carry), not by query age
+                assert len(snap.ticks) <= refresh_every + 2
+                for tick in snap.ticks:
+                    # one O(nodes) row per tick, nothing trajectory-shaped
+                    assert tick.K.ndim == 1
+                    assert (tick.K.shape == tick.N.shape == tick.LB.shape
+                            == tick.UB.shape == tick.W.shape)
+        assert running >= 5
+
+    def test_streams_released_when_pipelines_finish(self, tpch_db,
+                                                    tpch_planner, join_query):
+        monitor = ProgressMonitor(refresh_every=1)
+        state = MonitorState()
+
+        def observe(ctx):
+            state.ticks += 1
+            monitor.finalize(monitor.snapshot(ctx, state), state)
+
+        executor = QueryExecutor(
+            tpch_db, ExecutorConfig(batch_size=256, target_observations=40,
+                                    seed=5),
+            on_observation=observe)
+        executor.execute(tpch_planner.plan(join_query), "stream_release")
+        # the final forced observation reports every pipeline done and
+        # releases its streaming state + capture bookkeeping
+        assert state.streams == {}
+        assert state.metas == {}
+        assert state.cursors == {}

@@ -1,6 +1,5 @@
 """Unit tests for the simulated clock, cost model and memory manager."""
 
-import numpy as np
 import pytest
 
 from repro.engine.clock import CostModel, SimClock

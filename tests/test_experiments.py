@@ -4,11 +4,11 @@ import json
 import numpy as np
 import pytest
 
-pytestmark = pytest.mark.slow  # execution-backed: tiny-scale workload runs
-
 from repro.experiments.harness import ExperimentHarness
 from repro.experiments.results import ascii_series, format_table, save_result
 from repro.experiments.scale import PAPER, SMALL, TINY, active_scale
+
+pytestmark = pytest.mark.slow  # execution-backed: tiny-scale workload runs
 
 
 class TestScaleProfiles:

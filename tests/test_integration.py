@@ -9,8 +9,6 @@ best individual estimator; the oracle lower-bounds everything).
 import numpy as np
 import pytest
 
-pytestmark = pytest.mark.slow  # execution-backed: full workloads, training
-
 from repro.core.evaluate import (
     evaluate_fixed,
     evaluate_oracle,
@@ -19,6 +17,8 @@ from repro.core.evaluate import (
 from repro.core.training import train_selector
 from repro.experiments.harness import ExperimentHarness
 from repro.experiments.scale import TINY
+
+pytestmark = pytest.mark.slow  # execution-backed: full workloads, training
 
 
 @pytest.fixture(scope="module")

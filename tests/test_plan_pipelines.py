@@ -85,8 +85,6 @@ class TestJoins:
         hj1 = PlanNode(Op.HASH_JOIN, [hj2, b1], probe_key="x", build_key="y")
         root = PlanNode(Op.SORT, [hj1], keys=["k"]).finalize()
         pipes = decompose_pipelines(root)
-        tables = [pipes[i].nodes[0].table or pipes[i].nodes[0].op
-                  for i in range(len(pipes))]
         assert len(pipes) == 4
         assert pipes[0].nodes[0].table == "b1"      # hj1's build opens first
         assert pipes[1].nodes[0].table == "b2"      # then hj2's build

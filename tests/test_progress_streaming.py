@@ -1,0 +1,167 @@
+"""Incremental-vs-batch estimator parity (the streaming protocol).
+
+The contract of :mod:`repro.progress.streaming`: for every estimator,
+``advance``-accumulated estimates over a run's ticks equal the batch
+``estimate(pr)`` trajectory *bit-for-bit* — on Hypothesis-generated
+monotone trajectories, on executed fixture pipelines, and on fuzz-seeded
+ad-hoc workloads (the same property the fuzz oracle's ``incremental``
+layer sweeps at scale).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.engine.counters import UNBOUNDED
+from repro.progress.base import BatchReplayState, ProgressEstimator
+from repro.progress.gold import BytesProcessedOracle, GetNextOracle
+from repro.progress.luo import LuoEstimator
+from repro.progress.registry import all_estimators
+from repro.progress.streaming import (
+    PipelineMeta,
+    iter_ticks,
+    stream_estimates,
+    tick_known_totals,
+)
+
+from helpers import linear_two_node_run
+from strategies import random_pipeline
+
+REGISTRY_ESTIMATORS = all_estimators(include_worst_case=True,
+                                     include_extensions=True)
+GOLD_ESTIMATORS = [GetNextOracle(), BytesProcessedOracle()]
+
+
+def assert_streams_match_batch(pr, estimators=None):
+    for est in estimators or REGISTRY_ESTIMATORS + GOLD_ESTIMATORS:
+        batch = est.estimate(pr)
+        streamed = stream_estimates(est, pr)
+        assert streamed.shape == batch.shape, est.name
+        assert np.array_equal(batch, streamed), (
+            f"{est.name}: max |delta| = "
+            f"{np.abs(batch - streamed).max():.3e}")
+
+
+@given(random_pipeline())
+@settings(max_examples=50, deadline=None)
+def test_streaming_parity_on_random_pipelines(pr):
+    """Bit-for-bit parity for every registry estimator (plus the §6.7
+    oracles) on arbitrary monotone trajectories."""
+    assert_streams_match_batch(pr)
+
+
+def test_streaming_parity_on_executed_pipelines(join_run, scan_run):
+    prs = (join_run.pipeline_runs(min_observations=5)
+           + scan_run.pipeline_runs(min_observations=5))
+    assert prs
+    for pr in prs:
+        assert_streams_match_batch(pr)
+
+
+@pytest.mark.parametrize("seed", [11, 47, 203])
+def test_streaming_parity_on_fuzzed_workloads(seed):
+    """Fuzz-seeded ad-hoc pipelines (spill-prone knobs included) stream
+    to the bit-identical trajectories."""
+    from repro.catalog.statistics import build_statistics
+    from repro.engine.executor import ExecutorConfig, QueryExecutor
+    from repro.fuzz.generate import generate_fuzz_database, generate_fuzz_queries
+    from repro.optimizer.planner import Planner
+
+    db, info = generate_fuzz_database(seed, rows=300)
+    queries = generate_fuzz_queries(info, 2, seed + 1)
+    planner = Planner(db, build_statistics(db))
+    scored = 0
+    for i, query in enumerate(queries):
+        run = QueryExecutor(db, ExecutorConfig(
+            batch_size=128, memory_budget_bytes=float(16 << 10),
+            target_observations=40, seed=seed * 100 + i,
+        )).execute(planner.plan(query), query.name)
+        for pr in run.pipeline_runs(min_observations=3):
+            assert_streams_match_batch(pr)
+            scored += 1
+    assert scored, "fuzz seeds produced no scorable pipelines"
+
+
+def test_tick_known_totals_matches_batch():
+    pr = linear_two_node_run()
+    meta = PipelineMeta.from_pipeline_run(pr)
+    expected = pr.known_totals()
+    for tick in iter_ticks(pr):
+        assert np.array_equal(tick_known_totals(meta, tick), expected)
+
+
+def test_meta_from_pipeline_run_carries_oracle_bytes():
+    pr = linear_two_node_run()
+    meta = PipelineMeta.from_pipeline_run(pr)
+    from repro.progress.luo import bytes_done
+    assert meta.oracle_bytes_total == float(bytes_done(pr)[-1])
+    assert meta.n_nodes == pr.n_nodes
+    assert meta.t_start == pr.t_start
+
+
+def test_bytes_oracle_without_recorded_total_is_causal():
+    """Streamed live (no oracle total) the bytes model degrades to the
+    batch value on each causal prefix: bytes so far over bytes so far."""
+    pr = linear_two_node_run()
+    meta = PipelineMeta.from_pipeline_run(pr)
+    meta.oracle_bytes_total = None
+    est = BytesProcessedOracle()
+    state = est.begin(meta)
+    for t, tick in enumerate(iter_ticks(pr)):
+        value = est.advance(state, tick)
+        assert value == (1.0 if t > 0 else 0.0)
+
+
+def test_luo_window_state_is_bounded_and_stateful():
+    est = LuoEstimator(speed_window=5.0)
+    pr = linear_two_node_run(n_obs=51)  # 2s tick spacing over 100s
+    meta = PipelineMeta.from_pipeline_run(pr)
+    state = est.begin(meta)
+    assert state.stateful
+    for tick in iter_ticks(pr):
+        est.advance(state, tick)
+        # entries stay within the trailing speed window (+1 boundary row)
+        assert len(state.window) <= int(5.0 / 2.0) + 2
+
+
+def test_default_batch_replay_fallback_matches_estimate():
+    """A subclass without a native incremental path still satisfies the
+    streaming contract through the accumulate-and-replay fallback."""
+
+    class UnevenSplit(ProgressEstimator):
+        name = "uneven"
+
+        def estimate(self, pr):
+            # deliberately history-dependent: normalize by the max K sum
+            work = pr.K.sum(axis=1)
+            peak = np.maximum.accumulate(np.maximum(work, 1e-9))
+            return np.clip(work / (2.0 * peak), 0.0, 1.0)
+
+    est = UnevenSplit()
+    pr = linear_two_node_run(n_obs=9)
+    state = est.begin(PipelineMeta.from_pipeline_run(pr))
+    assert isinstance(state, BatchReplayState)
+    assert state.stateful
+    streamed = stream_estimates(est, pr)
+    assert np.array_equal(streamed, est.estimate(pr))
+
+
+def test_rebuilt_pipeline_run_roundtrips_fields():
+    """The fallback state's rebuilt PipelineRun mirrors the original."""
+    pr = linear_two_node_run(n_obs=7)
+    est_state = BatchReplayState(PipelineMeta.from_pipeline_run(pr))
+    for tick in iter_ticks(pr):
+        est_state.push(tick)
+    rebuilt = est_state.as_pipeline_run()
+    for name in ("times", "K", "R", "W", "LB", "UB", "E0", "N", "widths"):
+        assert np.array_equal(getattr(rebuilt, name), getattr(pr, name)), name
+    assert rebuilt.ops == pr.ops
+    assert rebuilt.t_start == pr.t_start
+    assert rebuilt.t_end == pr.times[-1]
+
+
+def test_streaming_handles_unbounded_sentinels():
+    """Bound-interval estimators stream exactly through UNBOUNDED caps."""
+    pr = linear_two_node_run(n_obs=11)
+    pr.UB = np.full_like(pr.UB, UNBOUNDED)
+    assert_streams_match_batch(pr)

@@ -7,14 +7,18 @@ importantly that ORDER covers *every* benchmark file, so a new
 (bench_refinement_study et al. once did).
 """
 
+import json
 from pathlib import Path
 
 from repro.experiments.run_all import (
     BENCH_DIR,
+    BENCH_SUMMARY,
     ORDER,
     TIMING_SENSITIVE,
     Timings,
+    git_sha,
     select_benchmarks,
+    write_bench_summary,
 )
 
 
@@ -79,3 +83,51 @@ class TestTimings:
         table = timings.slowest_table(top=5)
         assert "Slowest 1 benchmarks" in table
         assert "100%" in table
+
+
+class TestBenchSummary:
+    """The machine-readable perf artifact (BENCH_summary.json)."""
+
+    def test_summary_name_is_stable(self):
+        # CI's upload-artifact steps reference this exact file name
+        assert BENCH_SUMMARY == "BENCH_summary.json"
+
+    def test_writes_wall_clock_and_provenance(self, tmp_path):
+        timings = Timings()
+        timings.record("bench_b.py", 2.5004)
+        timings.record("bench_a.py", 0.75)
+        out = tmp_path / BENCH_SUMMARY
+        write_bench_summary(out, timings, jobs=4, scale="small",
+                            failures=["bench_b.py"],
+                            phase_seconds={"warm start": 1.25})
+        summary = json.loads(out.read_text())
+        assert summary["schema"] == 1
+        # the exact field set ci/phases.sh::phase_summary_json emits too —
+        # schema-1 artifacts must be interchangeable between CI and local
+        assert set(summary) == {"schema", "generated_at", "job", "git_sha",
+                                "python_version", "jobs", "scale",
+                                "benchmarks", "phases", "failures"}
+        assert summary["benchmarks"] == {"bench_a.py": 0.75,
+                                         "bench_b.py": 2.5}
+        assert summary["phases"] == {"warm start": 1.25}
+        assert summary["failures"] == ["bench_b.py"]
+        assert summary["jobs"] == 4 and summary["scale"] == "small"
+        assert summary["python_version"].count(".") == 2
+        assert "generated_at" in summary
+
+    def test_git_sha_resolves_in_this_checkout(self):
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40
+                               and all(c in "0123456789abcdef" for c in sha))
+
+    def test_main_writes_summary_even_when_nothing_selected(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.experiments.run_all as run_all_mod
+
+        monkeypatch.setattr(run_all_mod, "BENCH_DIR", tmp_path / "benchmarks")
+        (tmp_path / "benchmarks").mkdir()
+        assert run_all_mod.main(["--only", "no_such_benchmark"]) == 0
+        summary = json.loads((tmp_path / BENCH_SUMMARY).read_text())
+        assert summary["benchmarks"] == {}
+        assert summary["failures"] == []
+        assert BENCH_SUMMARY in capsys.readouterr().out

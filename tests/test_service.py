@@ -11,8 +11,6 @@ computes.
 import numpy as np
 import pytest
 
-pytestmark = pytest.mark.slow  # execution-backed: live multi-query runs
-
 from repro.core.monitor import ProgressMonitor
 from repro.core.training import collect_training_data, train_selector
 from repro.engine.executor import ExecutorConfig, QueryExecutor
@@ -27,6 +25,8 @@ from repro.service import (
     RoundRobinScheduler,
     SessionStatus,
 )
+
+pytestmark = pytest.mark.slow  # execution-backed: live multi-query runs
 
 FAST_MART = MARTParams(n_trees=8, max_leaves=4)
 SEEDS = (2, 3, 4, 5)

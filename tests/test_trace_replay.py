@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.monitor import ProgressMonitor
 from repro.core.training import collect_training_data, train_selector
-from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.engine.executor import ExecutorConfig
 from repro.features.vector import FeatureExtractor
 from repro.learning.mart import MARTParams
 from repro.progress.registry import all_estimators
