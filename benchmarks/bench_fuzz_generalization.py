@@ -7,6 +7,11 @@ evaluate on the ``adhoc_fuzz`` family — a seeded random schema and query
 batch none of the training workloads resemble (König et al. §6.2;
 Shepperd & MacDonell's call for evaluation beyond the tuning
 distribution).
+
+The ``outer_semi`` variant sharpens the distribution shift further: the
+six training families are inner-join-only, while the test family's plans
+are dominated by LEFT OUTER / SEMI / ANTI joins — operator semantics the
+selector never saw, with structurally different worst-case bounds.
 """
 
 from repro.core.evaluate import evaluate_selection
@@ -48,6 +53,46 @@ def test_fuzz_adhoc_generalization(harness, once):
     })
     # robustness shape: on never-seen generated schemas the learned
     # selection must not collapse below the fixed-estimator field
+    worst_fixed = max(evaluation.per_estimator_l1.values())
+    assert evaluation.avg_l1 <= worst_fixed + 1e-9
+    best_fixed_rate = max(evaluation.per_estimator_optimal_rate.values())
+    assert evaluation.optimal_rate >= best_fixed_rate - 0.25
+
+
+def test_outer_semi_generalization(harness, once):
+    """Does a selector trained on inner-join-only workloads still win
+    when the test plans run LEFT OUTER / SEMI / ANTI joins?"""
+    def compute():
+        train = harness.pooled_training_data(list(harness.suite.names),
+                                             "dynamic")
+        test = harness.training_data("outer_semi", "dynamic")
+        train = train.restrict_estimators(FULL6)
+        test = test.restrict_estimators(FULL6)
+        selector = train_selector(train, harness.scale.mart_params())
+        return evaluate_selection(selector, test,
+                                  name="static->outer_semi"), test.n_examples
+
+    evaluation, n_examples = once(compute)
+    rows = [["EST. SEL. (dynamic)", f"{evaluation.avg_l1:.4f}",
+             f"{evaluation.optimal_rate:.1%}"]]
+    for est, l1 in sorted(evaluation.per_estimator_l1.items(),
+                          key=lambda kv: kv[1]):
+        rows.append([est, f"{l1:.4f}",
+                     f"{evaluation.per_estimator_optimal_rate[est]:.1%}"])
+    rows.append(["oracle (lower bound)", f"{evaluation.oracle_l1:.4f}", "-"])
+    table = format_table(
+        ["method", "avg L1", "% (near-)optimal"], rows,
+        title=f"train on six inner-join workloads, test on outer_semi "
+              f"({n_examples} pipelines)")
+    print("\n" + table)
+    save_result("outer_semi_generalization", table, {
+        "avg_l1": evaluation.avg_l1,
+        "optimal_rate": evaluation.optimal_rate,
+        "per_estimator_l1": evaluation.per_estimator_l1,
+        "oracle_l1": evaluation.oracle_l1,
+    })
+    # same robustness shape as the adhoc family: unseen join semantics
+    # must not push the learned selection below the fixed-estimator field
     worst_fixed = max(evaluation.per_estimator_l1.values())
     assert evaluation.avg_l1 <= worst_fixed + 1e-9
     best_fixed_rate = max(evaluation.per_estimator_optimal_rate.values())

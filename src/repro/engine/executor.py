@@ -208,8 +208,20 @@ class ExecContext:
                             ub[node.children[0].node_id])
             elif op in (Op.HASH_JOIN, Op.MERGE_JOIN, Op.NESTED_LOOP_JOIN):
                 outer = ub[node.children[0].node_id]
-                inner = ub[node.children[1].node_id]
-                ub[i] = min(max(outer, 1.0) * max(inner, 1.0), UNBOUNDED)
+                if node.params.get("join_kind", "inner") in ("semi", "anti"):
+                    # Each probe row is emitted at most once, so the
+                    # outer-side bound alone is sound — and much tighter
+                    # than the inner-join product.
+                    ub[i] = outer
+                else:
+                    # Inner: at most outer × inner matches.  LEFT OUTER is
+                    # covered by the same product: k matched outer rows
+                    # yield ≤ k·inner rows and the outer−k unmatched rows
+                    # one padded row each, which totals ≤ outer·inner for
+                    # inner ≥ 1, and exactly `outer` (the max(·,1) floor)
+                    # once an empty inner side is proven.
+                    inner = ub[node.children[1].node_id]
+                    ub[i] = min(max(outer, 1.0) * max(inner, 1.0), UNBOUNDED)
             else:  # pragma: no cover - defensive
                 ub[i] = UNBOUNDED
         # Second pass: nested-loop probe sides.  An inner INDEX_SEEK is
@@ -354,6 +366,7 @@ class QueryExecutor:
                 parent=parent.get(i, -1),
                 is_driver=i in driver_ids,
                 is_build_side=i in build_side_ids,
+                join_kind=node.params.get("join_kind", "inner"),
             ))
         pipeline_infos = []
         for pipe in ctx.pipelines:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.catalog.table import Table, _expand_ranges
 from repro.engine.chunk import Chunk
 from repro.plan.nodes import Op, PlanNode
+from repro.query.logical import NULL_FLOAT, NULL_INT
 from repro.query.predicates import evaluate_all
 
 
@@ -320,8 +321,10 @@ class _SortedMatcher:
             self.order = np.argsort(keys, kind="stable")
             self.sorted_keys = keys[self.order]
 
-    def match(self, probe: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Return (positions-into-original, probe-row-indices) of all matches."""
+    def match_with_counts(
+            self, probe: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`match`, plus the per-probe-row partner counts."""
         lo = np.searchsorted(self.sorted_keys, probe, side="left")
         hi = np.searchsorted(self.sorted_keys, probe, side="right")
         counts = hi - lo
@@ -329,13 +332,67 @@ class _SortedMatcher:
         if self.order is not None:
             pos = self.order[pos]
         probe_idx = np.repeat(np.arange(len(probe)), counts)
+        return pos, probe_idx, counts
+
+    def match(self, probe: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (positions-into-original, probe-row-indices) of all matches."""
+        pos, probe_idx, _ = self.match_with_counts(probe)
         return pos, probe_idx
+
+    def counts(self, probe: np.ndarray) -> np.ndarray:
+        """Partner count per probe row (all a semi/anti join needs)."""
+        lo = np.searchsorted(self.sorted_keys, probe, side="left")
+        hi = np.searchsorted(self.sorted_keys, probe, side="right")
+        return hi - lo
+
+
+def _source_columns(node: PlanNode, ctx) -> dict[str, np.dtype]:
+    """Column name -> dtype for the base tables feeding a plan subtree.
+
+    Used to NULL-pad a join's non-preserved side when it materialized to
+    zero rows (``Chunk.concat([])`` cannot preserve column names).
+    """
+    out: dict[str, np.dtype] = {}
+    for sub in node.walk():
+        table = sub.params.get("table")
+        if table is not None:
+            for name, arr in ctx.db.table(table).data.items():
+                out.setdefault(name, arr.dtype)
+    return out
+
+
+def _null_chunk(n: int, columns: dict[str, np.dtype]) -> Chunk:
+    """``n`` rows of NULL sentinels with the given column layout."""
+    data: dict[str, np.ndarray] = {}
+    for name, dtype in columns.items():
+        if np.issubdtype(dtype, np.floating):
+            data[name] = np.full(n, NULL_FLOAT, dtype=np.float64)
+        else:
+            data[name] = np.full(n, NULL_INT, dtype=np.int64)
+    return Chunk(data)
+
+
+def _left_outer_combine(probe_chunk: Chunk, probe_idx: np.ndarray,
+                        matched_rows: Chunk, counts: np.ndarray,
+                        pad_columns: dict[str, np.dtype]) -> Chunk:
+    """Matched pairs plus NULL-padded unmatched probe rows, in probe order."""
+    matched = probe_chunk.take(probe_idx).merge(matched_rows)
+    unmatched = np.flatnonzero(counts == 0)
+    if len(unmatched) == 0:
+        return matched
+    padded = probe_chunk.take(unmatched).merge(
+        _null_chunk(len(unmatched), pad_columns))
+    combined = Chunk.concat([matched, padded])
+    order = np.argsort(np.concatenate([probe_idx, unmatched]), kind="stable")
+    return combined.take(order)
 
 
 class HashJoinIterator(BatchIterator):
     """Hash join: blocking build on ``children[1]``, streaming probe.
 
-    ``params``: ``probe_key`` (outer/probe column), ``build_key``.
+    ``params``: ``probe_key`` (outer/probe column), ``build_key``, and
+    optionally ``join_kind`` (``inner``/``left``/``semi``/``anti``; the
+    probe side is the preserved side for the non-inner kinds).
     """
 
     def __init__(self, node: PlanNode, ctx, probe_child: BatchIterator,
@@ -374,8 +431,20 @@ class HashJoinIterator(BatchIterator):
                 self.node.params["build_key"]))
         else:
             self._matcher = None
+        self._kind = self.node.params.get("join_kind", "inner")
+        self._pad_cols: dict[str, np.dtype] | None = None
         self.probe_child.open()
         self._started_probe = False
+
+    def _pad_columns(self) -> dict[str, np.dtype]:
+        if self._pad_cols is None:
+            if self._build.columns:
+                self._pad_cols = {c: self._build.column(c).dtype
+                                  for c in self._build.columns}
+            else:
+                self._pad_cols = _source_columns(self.build_child.node,
+                                                 self.ctx)
+        return self._pad_cols
 
     def _next(self) -> Chunk | None:
         if not self._started_probe:
@@ -387,12 +456,39 @@ class HashJoinIterator(BatchIterator):
         chunk = self.probe_child.next_chunk()
         if chunk is None:
             return None
-        if len(chunk) == 0 or self._matcher is None:
-            self.ctx.charge(self.node, rows=0, cpu_rows=len(chunk))
+        kind = self._kind
+        if len(chunk) == 0:
+            self.ctx.charge(self.node, rows=0, cpu_rows=0)
+            if kind in ("semi", "anti"):
+                return chunk
             return Chunk.empty(chunk.columns + self._build.columns)
-        pos, probe_idx = self._matcher.match(chunk.column(
-            self.node.params["probe_key"]))
-        out = chunk.take(probe_idx).merge(self._build.take(pos))
+        if self._matcher is None:
+            # Empty build side: inner and semi emit nothing; anti keeps
+            # every probe row; left pads every probe row with NULLs.
+            if kind == "anti":
+                out = chunk
+            elif kind == "left":
+                out = chunk.merge(_null_chunk(len(chunk), self._pad_columns()))
+            else:
+                self.ctx.charge(self.node, rows=0, cpu_rows=len(chunk))
+                return Chunk.empty(chunk.columns + self._build.columns)
+            self.ctx.charge(self.node, rows=len(out),
+                            cpu_rows=len(chunk) + len(out))
+            return out
+        probe_keys = chunk.column(self.node.params["probe_key"])
+        if kind == "inner":
+            pos, probe_idx = self._matcher.match(probe_keys)
+            out = chunk.take(probe_idx).merge(self._build.take(pos))
+        elif kind == "left":
+            pos, probe_idx, counts = self._matcher.match_with_counts(
+                probe_keys)
+            out = _left_outer_combine(chunk, probe_idx,
+                                      self._build.take(pos), counts,
+                                      self._pad_columns())
+        else:  # semi / anti: emit each probe row at most once, probe cols only
+            counts = self._matcher.counts(probe_keys)
+            mask = counts > 0 if kind == "semi" else counts == 0
+            out = chunk.select(mask)
         self.ctx.charge(self.node, rows=len(out), cpu_rows=len(chunk) + len(out))
         return out
 
@@ -405,9 +501,10 @@ class HashJoinIterator(BatchIterator):
 class MergeJoinIterator(BatchIterator):
     """Merge join over two key-ordered inputs (both sides stream).
 
-    ``params``: ``outer_key``, ``inner_key``.  Both children must deliver
-    rows in non-decreasing key order (guaranteed by the planner: clustered
-    index scans or explicit sorts).
+    ``params``: ``outer_key``, ``inner_key``, and optionally ``join_kind``
+    (``inner`` or ``left``; the outer side is the preserved side).  Both
+    children must deliver rows in non-decreasing key order (guaranteed by
+    the planner: clustered index scans or explicit sorts).
     """
 
     def __init__(self, node: PlanNode, ctx, outer: BatchIterator,
@@ -421,6 +518,21 @@ class MergeJoinIterator(BatchIterator):
         self.inner_child.open()
         self._buffer: Chunk | None = None
         self._inner_done = False
+        self._kind = self.node.params.get("join_kind", "inner")
+        if self._kind not in ("inner", "left"):
+            raise ValueError(f"merge join does not support join kind "
+                             f"{self._kind!r}")
+        self._pad_cols: dict[str, np.dtype] | None = None
+
+    def _pad_columns(self) -> dict[str, np.dtype]:
+        if self._pad_cols is None:
+            if self._buffer is not None and self._buffer.columns:
+                self._pad_cols = {c: self._buffer.column(c).dtype
+                                  for c in self._buffer.columns}
+            else:
+                self._pad_cols = _source_columns(self.inner_child.node,
+                                                 self.ctx)
+        return self._pad_cols
 
     def _extend_buffer(self, up_to_key) -> None:
         """Pull inner chunks until the buffer covers keys <= up_to_key."""
@@ -454,12 +566,24 @@ class MergeJoinIterator(BatchIterator):
         outer_keys = outer_chunk.column(okey)
         self._extend_buffer(outer_keys[-1])
         if self._buffer is None or len(self._buffer) == 0:
+            if self._kind == "left":
+                out = outer_chunk.merge(
+                    _null_chunk(len(outer_chunk), self._pad_columns()))
+                self.ctx.charge(self.node, rows=len(out),
+                                cpu_rows=len(outer_chunk) + len(out))
+                return out
             self.ctx.charge(self.node, rows=0, cpu_rows=len(outer_chunk))
             return Chunk.empty(outer_chunk.columns)
         inner_keys = self._buffer.column(self.node.params["inner_key"])
         matcher = _SortedMatcher(inner_keys, presorted=True)
-        pos, probe_idx = matcher.match(outer_keys)
-        out = outer_chunk.take(probe_idx).merge(self._buffer.take(pos))
+        if self._kind == "left":
+            pos, probe_idx, counts = matcher.match_with_counts(outer_keys)
+            out = _left_outer_combine(outer_chunk, probe_idx,
+                                      self._buffer.take(pos), counts,
+                                      self._pad_columns())
+        else:
+            pos, probe_idx = matcher.match(outer_keys)
+            out = outer_chunk.take(probe_idx).merge(self._buffer.take(pos))
         # Trim buffered inner rows that can no longer match (keys strictly
         # below the largest outer key seen; ties kept for the next chunk).
         keep = inner_keys >= outer_keys[-1]

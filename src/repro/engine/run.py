@@ -43,6 +43,7 @@ class NodeInfo:
     parent: int  # node_id of the parent, -1 at the root
     is_driver: bool
     is_build_side: bool = False  # True when this node is a hash join's build child
+    join_kind: str = "inner"  # join semantics at join nodes ("inner" elsewhere)
 
 
 @dataclass(frozen=True)

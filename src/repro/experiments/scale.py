@@ -40,6 +40,7 @@ TINY = ScaleProfile(
         tpch_rows=5_000, tpcds_rows=4_000, real1_rows=4_000, real2_rows=4_000,
         tpch_queries=32, tpcds_queries=16, real1_queries=16, real2_queries=16,
         fuzz_rows=4_000, fuzz_queries=16,
+        outer_rows=4_000, outer_queries=16,
     ),
     memory_budget_bytes=float(96 << 10),
     batch_size=512,
@@ -56,6 +57,7 @@ SMALL = ScaleProfile(
         real2_rows=15_000,
         tpch_queries=160, tpcds_queries=64, real1_queries=64, real2_queries=64,
         fuzz_rows=15_000, fuzz_queries=64,
+        outer_rows=15_000, outer_queries=64,
     ),
     memory_budget_bytes=float(256 << 10),
     batch_size=1024,
@@ -71,6 +73,7 @@ PAPER = ScaleProfile(
         real2_rows=60_000,
         tpch_queries=480, tpcds_queries=200, real1_queries=200,
         real2_queries=200, fuzz_rows=50_000, fuzz_queries=200,
+        outer_rows=50_000, outer_queries=200,
     ),
     memory_budget_bytes=float(1 << 20),
     batch_size=1024,

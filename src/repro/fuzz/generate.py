@@ -31,6 +31,19 @@ _AGG_FUNCS = ("sum", "avg", "min", "max")
 _INT_FILTER_OPS = ("==", "!=", "<", "<=", ">", ">=", "between", "in")
 _FLOAT_FILTER_OPS = ("<", "<=", ">", ">=", "between")
 
+#: Join-kind draw weights for generated edges.  Inner dominates (as in
+#: real traffic) but every kind is exercised; the ``outer_semi`` workload
+#: family overrides these to stress the non-inner kinds.
+DEFAULT_KIND_WEIGHTS = {"inner": 0.55, "left": 0.20, "semi": 0.15,
+                        "anti": 0.10}
+
+
+def _draw_kind(rng: np.random.Generator,
+               weights: dict[str, float]) -> str:
+    kinds = list(weights)
+    p = np.array([weights[k] for k in kinds], dtype=np.float64)
+    return str(rng.choice(kinds, p=p / p.sum()))
+
 
 @dataclass(frozen=True)
 class ColumnDomain:
@@ -202,9 +215,13 @@ def _random_filter(rng: np.random.Generator, dom: ColumnDomain) -> FilterSpec:
 
 
 def _one_query(rng: np.random.Generator, info: FuzzSchemaInfo,
-               name: str) -> QuerySpec:
+               name: str,
+               kind_weights: dict[str, float] | None = None) -> QuerySpec:
+    weights = kind_weights or DEFAULT_KIND_WEIGHTS
     tables = [info.fact]
     joins: list[JoinEdge] = []
+    hidden: set[str] = set()    # semi/anti targets: columns not visible
+    nullable: set[str] = set()  # left-join targets: may carry NULL sentinels
     if rng.random() >= 0.12:  # multi-way join (the common case)
         k = int(rng.integers(1, len(info.dims) + 1))
         picks = sorted(rng.choice(len(info.dims), size=k, replace=False))
@@ -212,13 +229,29 @@ def _one_query(rng: np.random.Generator, info: FuzzSchemaInfo,
             dim = info.dims[p]
             near_col, far, far_key = info.edges[dim]
             tables.append(dim)
-            joins.append(JoinEdge(info.fact, near_col, far, far_key))
+            kind = _draw_kind(rng, weights)
+            joins.append(JoinEdge(info.fact, near_col, far, far_key, kind))
+            if kind in ("semi", "anti"):
+                # a hidden dimension's columns (incl. its sub-dim foreign
+                # key) are gone downstream: no snowflake chain below it
+                hidden.add(dim)
+                continue
+            if kind == "left":
+                nullable.add(dim)
             sub = info.sub_of.get(dim)
             if sub is not None and rng.random() < 0.5:
                 near_col, far, far_key = info.edges[sub]
                 tables.append(sub)
-                joins.append(JoinEdge(dim, near_col, sub, far_key))
+                sub_kind = _draw_kind(rng, weights)
+                joins.append(JoinEdge(dim, near_col, sub, far_key, sub_kind))
+                if sub_kind in ("semi", "anti"):
+                    hidden.add(sub)
+                elif sub_kind == "left":
+                    nullable.add(sub)
 
+    # Filters may target hidden tables too: they apply to the base table
+    # before the join (ON-clause semantics, identical in the engine's
+    # access paths and in the reference evaluator).
     candidates = [d for t in tables for d in info.filterables.get(t, [])]
     filters: list[FilterSpec] = []
     if candidates:
@@ -226,19 +259,23 @@ def _one_query(rng: np.random.Generator, info: FuzzSchemaInfo,
         for p in rng.choice(len(candidates), size=want, replace=False):
             filters.append(_random_filter(rng, candidates[int(p)]))
 
+    visible = [t for t in tables if t not in hidden]
     group_by: list[str] = []
     aggregates: list[Aggregate] = []
     order_by: list[str] = []
     top: int | None = None
     if rng.random() < 0.6:  # aggregate query
-        group_candidates = info.groupables(tables)
+        group_candidates = info.groupables(visible)
         if group_candidates and rng.random() < 0.85:
             pick = group_candidates[int(rng.integers(0, len(group_candidates)))]
             group_by = [pick.column]
         aggregates.append(Aggregate("count"))
+        # Float columns of left-joined tables are excluded: NULL sentinels
+        # in a SUM/AVG would dominate the value.  Integer grouping and
+        # ordering over them stays allowed — sentinels compare exactly.
         agg_candidates = list(info.measures) + [
-            d for t in tables[1:] for d in info.filterables.get(t, [])
-            if d.dtype == "float64"]
+            d for t in visible[1:] for d in info.filterables.get(t, [])
+            if d.dtype == "float64" and t not in nullable]
         for dom in agg_candidates:
             if rng.random() < 0.55:
                 aggregates.append(Aggregate(str(rng.choice(_AGG_FUNCS)),
@@ -253,7 +290,8 @@ def _one_query(rng: np.random.Generator, info: FuzzSchemaInfo,
                 order_by = ([aggregates[-1].output_name]
                             if rng.random() < 0.5 else list(group_by))
     else:  # select-project-join
-        int_columns = [d for d in candidates if d.dtype == "int64"]
+        int_columns = [d for d in candidates
+                       if d.dtype == "int64" and d.table not in hidden]
         if int_columns and rng.random() < 0.6:
             n_keys = int(rng.integers(1, min(len(int_columns), 2) + 1))
             picks = rng.choice(len(int_columns), size=n_keys, replace=False)
@@ -273,18 +311,26 @@ def _one_query(rng: np.random.Generator, info: FuzzSchemaInfo,
 
 
 def generate_fuzz_queries(info: FuzzSchemaInfo, n_queries: int,
-                          seed: int, name_prefix: str = "fuzz"
+                          seed: int, name_prefix: str = "fuzz",
+                          kind_weights: dict[str, float] | None = None
                           ) -> list[QuerySpec]:
-    """``n_queries`` ad-hoc specs over one fuzzed schema (deterministic)."""
+    """``n_queries`` ad-hoc specs over one fuzzed schema (deterministic).
+
+    ``kind_weights`` reweights the per-edge join-kind draw (defaults to
+    :data:`DEFAULT_KIND_WEIGHTS`); the ``outer_semi`` workload family
+    passes a non-inner-heavy distribution here.
+    """
     rng = np.random.default_rng(seed)
-    return [_one_query(rng, info, f"{name_prefix}_{seed}_{i}")
+    return [_one_query(rng, info, f"{name_prefix}_{seed}_{i}", kind_weights)
             for i in range(n_queries)]
 
 
-def generate_fuzz_workload(rows: int, n_queries: int, seed: int
+def generate_fuzz_workload(rows: int, n_queries: int, seed: int,
+                           kind_weights: dict[str, float] | None = None
                            ) -> tuple[Database, FuzzSchemaInfo,
                                       list[QuerySpec]]:
     """Database + queries in one call (the ``adhoc_fuzz`` suite family)."""
     db, info = generate_fuzz_database(seed, rows)
-    queries = generate_fuzz_queries(info, n_queries, seed + 1)
+    queries = generate_fuzz_queries(info, n_queries, seed + 1,
+                                    kind_weights=kind_weights)
     return db, info, queries

@@ -48,6 +48,7 @@ from repro.optimizer.physical_design import (
 )
 from repro.optimizer.planner import Planner
 from repro.progress.registry import all_estimators
+from repro.query.logical import JOIN_KINDS
 from repro.runtime import resolve_jobs, run_tasks
 from repro.trace.replay import replay_monitor
 
@@ -112,12 +113,16 @@ class ScenarioReport:
     spill_events: int
     design: str
     checks: dict[str, int] = field(default_factory=dict)
+    #: per-scenario histogram of drawn join-edge kinds (inner/left/semi/anti)
+    join_kinds: dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
+        kinds = ",".join(f"{k}:{self.join_kinds.get(k, 0)}"
+                         for k in JOIN_KINDS)
         return (f"seed={self.seed:<6} rows={self.rows:<5} "
                 f"queries={self.n_queries} pipelines={self.n_pipelines:<3} "
                 f"reports={self.n_reports:<4} spills={self.spill_events:<3} "
-                f"design={self.design}")
+                f"design={self.design} joins=[{kinds}]")
 
 
 @dataclass
@@ -137,10 +142,19 @@ class FuzzReport:
                 totals[layer] += n
         return totals
 
+    def kind_totals(self) -> dict[str, int]:
+        """Batch-wide histogram of exercised join-edge kinds."""
+        totals = {kind: 0 for kind in JOIN_KINDS}
+        for s in self.scenarios:
+            for kind, n in s.join_kinds.items():
+                totals[kind] += n
+        return totals
+
     def describe(self) -> str:
         checks = "  ".join(f"{k}:{v}" for k, v in self.layer_checks().items())
+        kinds = "  ".join(f"{k}:{v}" for k, v in self.kind_totals().items())
         return (f"{self.n_scenarios} scenarios, 0 violations "
-                f"(oracle checks — {checks})")
+                f"(oracle checks — {checks}; join kinds — {kinds})")
 
     def check_hard_regimes(self) -> None:
         """Raise unless the batch exercised the regimes the CI seed
@@ -165,6 +179,13 @@ class FuzzReport:
             raise AssertionError(
                 f"scenarios only exercised designs {sorted(designs)}; "
                 f"the matrix must cover untuned, partial and full")
+        kinds = self.kind_totals()
+        missing = [kind for kind in JOIN_KINDS if not kinds.get(kind)]
+        if missing:
+            raise AssertionError(
+                f"join kind(s) {missing} never drawn across "
+                f"{self.n_scenarios} scenarios (histogram: {kinds}); the "
+                f"generator must keep exercising every join semantics")
 
 
 def _monitored_execute(db, plan, query_name: str, config: ExecutorConfig,
@@ -233,6 +254,10 @@ def run_scenario(seed: int, config: FuzzConfig | None = None
     monitor = ProgressMonitor(refresh_every=refresh_every)
 
     checks = {layer: 0 for layer in ORACLE_LAYERS}
+    join_kinds = {kind: 0 for kind in JOIN_KINDS}
+    for query in queries:
+        for edge in query.joins:
+            join_kinds[edge.kind] += 1
     runs: list[QueryRun] = []
     streams: list[list] = []
     for i, query in enumerate(queries):
@@ -290,6 +315,7 @@ def run_scenario(seed: int, config: FuzzConfig | None = None
         spill_events=sum(r.spill_events for r in runs),
         design=design.name,
         checks=checks,
+        join_kinds=join_kinds,
     )
 
 

@@ -288,7 +288,8 @@ def check_trace_roundtrip(run: QueryRun, live_reports: list[ProgressReport],
                 and _nan_equal(a.table_rows, b.table_rows)
                 and a.pid == b.pid and a.parent == b.parent
                 and a.is_driver == b.is_driver
-                and a.is_build_side == b.is_build_side)
+                and a.is_build_side == b.is_build_side
+                and a.join_kind == b.join_kind)
         _require(same, layer, ctx,
                  f"node {a.node_id} metadata changed in round-trip")
     _require(len(rep.pipelines) == len(run.pipelines), layer, ctx,

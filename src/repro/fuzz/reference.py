@@ -4,9 +4,11 @@ This is the fuzzer's ground truth for oracle layer 1: no plans, no
 operators, no chunking, no cost model — each query is evaluated directly
 against the base tables with whole-column NumPy operations (filter masks,
 sort-merge key matching, one-shot grouping).  Independence from the engine
-is the point: the two implementations share only the predicate evaluator
-(:func:`repro.query.predicates.evaluate_all`, which *defines* predicate
-semantics) and must agree on every generated query.
+is the point: the two implementations share only the logical-layer
+*definitions* — the predicate evaluator
+(:func:`repro.query.predicates.evaluate_all`), the NULL sentinels of LEFT
+OUTER padding and the join-order eligibility rule for non-inner kinds
+(:mod:`repro.query.logical`) — and must agree on every generated query.
 
 Comparison rules (see :func:`compare_output`):
 
@@ -31,7 +33,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.catalog.table import Database
-from repro.query.logical import QuerySpec
+from repro.query.logical import (NULL_FLOAT, NULL_INT, QuerySpec,
+                                 valid_start_tables)
 from repro.query.predicates import evaluate_all
 
 _RTOL = 1e-9
@@ -83,18 +86,27 @@ def _join_all(db: Database, query: QuerySpec) -> dict[str, np.ndarray]:
             columns = {k: v[mask] for k, v in columns.items()}
         parts[t] = columns
 
-    joined = dict(parts[query.tables[0]])
-    covered = {query.tables[0]}
+    start = query.tables[0]
+    if any(e.kind != "inner" for e in query.joins):
+        # Non-inner edges force their preserved side to be reached first;
+        # QuerySpec validation guarantees a valid start exists.
+        start = valid_start_tables(query.tables, query.joins)[0]
+    joined = dict(parts[start])
+    covered = {start}
     pending = list(query.joins)
     while pending:
         for edge in pending:
-            if (edge.left_table in covered) or (edge.right_table in covered):
+            if edge.kind == "inner":
+                if (edge.left_table in covered) or (edge.right_table in covered):
+                    break
+            elif (edge.left_table in covered
+                  and edge.right_table not in covered):
                 break
         else:  # pragma: no cover - QuerySpec validates connectivity
             raise ValueError(f"query {query.name!r} join graph disconnected")
         pending.remove(edge)
         if edge.left_table in covered and edge.right_table in covered:
-            # cycle edge: a residual equality predicate over joined rows
+            # cycle edge (inner only): residual equality over joined rows
             mask = joined[edge.left_column] == joined[edge.right_column]
             joined = {k: v[mask] for k, v in joined.items()}
             continue
@@ -112,8 +124,33 @@ def _join_all(db: Database, query: QuerySpec) -> dict[str, np.ndarray]:
         lo = np.searchsorted(sorted_keys, near_keys, side="left")
         hi = np.searchsorted(sorted_keys, near_keys, side="right")
         counts = hi - lo
+        if edge.kind in ("semi", "anti"):
+            # keep/drop near rows by partner existence; the far table's
+            # columns never become visible
+            mask = counts > 0 if edge.kind == "semi" else counts == 0
+            joined = {k: v[mask] for k, v in joined.items()}
+            covered.add(far_t)
+            continue
         near_idx = np.repeat(np.arange(len(near_keys)), counts)
         far_pos = order[_expand_ranges(lo, counts)]
+        if edge.kind == "left":
+            unmatched = np.flatnonzero(counts == 0)
+            if len(unmatched):
+                all_near = np.concatenate([near_idx, unmatched])
+                restore = np.argsort(all_near, kind="stable")
+                new_joined = {k: v[all_near][restore]
+                              for k, v in joined.items()}
+                pad = len(unmatched)
+                for k, v in far.items():
+                    if np.issubdtype(v.dtype, np.floating):
+                        fill = np.full(pad, NULL_FLOAT, dtype=np.float64)
+                    else:
+                        fill = np.full(pad, NULL_INT, dtype=np.int64)
+                    new_joined[k] = np.concatenate([v[far_pos], fill])[restore]
+                joined = new_joined
+                covered.add(far_t)
+                continue
+            # every near row matched: identical to an inner join
         joined = {k: v[near_idx] for k, v in joined.items()}
         joined.update({k: v[far_pos] for k, v in far.items()})
         covered.add(far_t)

@@ -61,6 +61,36 @@ class CardinalityEstimator:
         """Containment assumption for equi-joins."""
         return left_card * right_card / max(left_ndv, right_ndv, 1)
 
+    def semi_join_cardinality(self, left_card: float, right_card: float,
+                              left_ndv: int, right_ndv: int) -> float:
+        """Left rows with ≥1 partner, under containment.
+
+        The fraction of left keys that find a partner is the fraction of
+        the left key domain present on the right: ``min(right_card,
+        right_ndv) / left_ndv``, capped at 1.  Never exceeds the left
+        input — semi joins emit each left row at most once.
+        """
+        match_fraction = min(
+            1.0, min(right_card, float(right_ndv)) / max(left_ndv, 1))
+        return left_card * match_fraction
+
+    def anti_join_cardinality(self, left_card: float, right_card: float,
+                              left_ndv: int, right_ndv: int) -> float:
+        """Left rows with no partner: the semi join's complement."""
+        semi = self.semi_join_cardinality(left_card, right_card,
+                                          left_ndv, right_ndv)
+        return max(left_card - semi, 0.0)
+
+    def outer_join_cardinality(self, left_card: float, right_card: float,
+                               left_ndv: int, right_ndv: int) -> float:
+        """LEFT OUTER join: inner matches plus one padded row per
+        unmatched left row; never below the preserved side."""
+        inner = self.join_cardinality(left_card, right_card,
+                                      left_ndv, right_ndv)
+        anti = self.anti_join_cardinality(left_card, right_card,
+                                          left_ndv, right_ndv)
+        return max(inner + anti, left_card)
+
     def seek_fanout(self, table: str, column: str) -> float:
         """Expected matches per probe key for an index seek on ``column``."""
         return self.stats.table(table).n_rows / self.ndv(table, column)

@@ -28,7 +28,7 @@ from repro.catalog.statistics import DatabaseStatistics, build_statistics
 from repro.catalog.table import Database
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.plan.nodes import Op, PlanNode
-from repro.query.logical import JoinEdge, QuerySpec
+from repro.query.logical import JoinEdge, QuerySpec, valid_start_tables
 
 
 @dataclass
@@ -135,7 +135,14 @@ class Planner:
             base = max(self.db.table(t).n_rows, 1)
             return (access[t].est / base, access[t].est)
 
-        start = min(query.tables, key=selectivity)
+        candidates = query.tables
+        if any(e.kind != "inner" for e in query.joins):
+            # Non-inner edges force their preserved side to be joined
+            # first; only start tables from which a complete eligible
+            # order exists are sound.  QuerySpec validation guarantees at
+            # least one survives.
+            candidates = valid_start_tables(query.tables, query.joins)
+        start = min(candidates, key=selectivity)
         current = access[start]
         remaining = set(query.tables) - {start}
         while remaining:
@@ -160,10 +167,10 @@ class Planner:
             if len(inside) != 1 or len(outside) != 1:
                 continue
             table = outside[0]
-            join_est = self.card.join_cardinality(
-                current.est, access[table].est,
-                self._edge_ndv(edge, edge.other(table)),
-                self._edge_ndv(edge, table))
+            if edge.kind != "inner" and table != edge.right_table:
+                # the preserved (left) side must already be joined
+                continue
+            join_est = self._join_est(edge, current, access[table], table)
             cost = self._cheapest_method(current, access[table], edge, table)[1]
             key = (join_est, cost)
             if key < best_key:
@@ -175,16 +182,18 @@ class Planner:
         cfg = self.config
         pcol = edge.column_for(edge.other(table))
         tcol = edge.column_for(table)
-        join_est = self.card.join_cardinality(
-            current.est, target.est,
-            self._edge_ndv(edge, edge.other(table)),
-            self._edge_ndv(edge, table))
+        join_est = self._join_est(edge, current, target, table)
         out_cost = cfg.cost_output_row * join_est
-        smaller, larger = sorted((current.est, target.est))
+        if edge.kind == "inner":
+            smaller, larger = sorted((current.est, target.est))
+        else:
+            # non-inner joins must build on the non-preserved (target)
+            # side: the probe side's row identity drives pad/keep/drop
+            smaller, larger = target.est, current.est
         best = ("hash", cfg.cost_hash_build * smaller
                 + cfg.cost_hash_probe * larger + out_cost)
         tab = self.db.table(table)
-        if tab.has_index(tcol):
+        if edge.kind == "inner" and tab.has_index(tcol):
             raw = current.est * self.card.seek_fanout(table, tcol)
             nlj_cost = (cfg.cost_seek_probe * current.est
                         + 1.2 * raw + out_cost)
@@ -197,7 +206,8 @@ class Planner:
                 nlj_cost *= cfg.batch_sort_io_discount
             if nlj_cost < best[1]:
                 best = ("nlj", nlj_cost)
-        if current.order == pcol and target.order == tcol:
+        if (edge.kind in ("inner", "left")
+                and current.order == pcol and target.order == tcol):
             merge_cost = (cfg.cost_merge_row * (current.est + target.est)
                           + out_cost)
             if merge_cost < best[1]:
@@ -207,16 +217,35 @@ class Planner:
     def _edge_ndv(self, edge: JoinEdge, table: str) -> int:
         return self.card.ndv(table, edge.column_for(table))
 
+    def _join_est(self, edge: JoinEdge, current: _SubPlan, target: _SubPlan,
+                  table: str) -> float:
+        """Kind-aware join size estimate; for non-inner edges ``current``
+        is always the preserved side (eligibility guarantees it)."""
+        left_ndv = self._edge_ndv(edge, edge.other(table))
+        right_ndv = self._edge_ndv(edge, table)
+        if edge.kind == "left":
+            return self.card.outer_join_cardinality(
+                current.est, target.est, left_ndv, right_ndv)
+        if edge.kind == "semi":
+            return self.card.semi_join_cardinality(
+                current.est, target.est, left_ndv, right_ndv)
+        if edge.kind == "anti":
+            return self.card.anti_join_cardinality(
+                current.est, target.est, left_ndv, right_ndv)
+        return self.card.join_cardinality(
+            current.est, target.est, left_ndv, right_ndv)
+
     def _build_join(self, query: QuerySpec, current: _SubPlan,
                     target: _SubPlan, edge: JoinEdge, table: str) -> _SubPlan:
         method = self._cheapest_method(current, target, edge, table)[0]
         pcol = edge.column_for(edge.other(table))
         tcol = edge.column_for(table)
-        join_est = max(self.card.join_cardinality(
-            current.est, target.est,
-            self._edge_ndv(edge, edge.other(table)),
-            self._edge_ndv(edge, table)), 0.01)
-        out_width = current.width + target.width
+        join_est = max(self._join_est(edge, current, target, table), 0.01)
+        # semi/anti joins emit only the preserved side's columns
+        if edge.kind in ("semi", "anti"):
+            out_width = current.width
+        else:
+            out_width = current.width + target.width
 
         if method == "nlj":
             return self._build_nlj(query, current, edge, table, pcol, tcol,
@@ -224,19 +253,24 @@ class Planner:
         if method == "merge":
             node = PlanNode(Op.MERGE_JOIN, [current.node, target.node],
                             outer_key=pcol, inner_key=tcol)
+            if edge.kind != "inner":
+                node.params["join_kind"] = edge.kind
             node.est_rows = join_est
             node.est_row_width = out_width
             return _SubPlan(node, join_est, out_width, pcol,
                             current.tables | {table})
-        # hash join: build on the smaller estimated side
-        if target.est <= current.est:
-            probe, build = current, target
-            probe_key, build_key = pcol, tcol
-        else:
+        # hash join: build on the smaller estimated side; non-inner kinds
+        # must probe with the preserved side, so the build side is fixed
+        if edge.kind == "inner" and target.est > current.est:
             probe, build = target, current
             probe_key, build_key = tcol, pcol
+        else:
+            probe, build = current, target
+            probe_key, build_key = pcol, tcol
         node = PlanNode(Op.HASH_JOIN, [probe.node, build.node],
                         probe_key=probe_key, build_key=build_key)
+        if edge.kind != "inner":
+            node.params["join_kind"] = edge.kind
         node.est_rows = join_est
         node.est_row_width = out_width
         return _SubPlan(node, join_est, out_width, probe.order,

@@ -20,15 +20,42 @@ from repro.query.predicates import FilterSpec
 
 _AGG_FUNCS = ("count", "sum", "avg", "min", "max")
 
+#: Supported join semantics.  ``left`` preserves every row of the left
+#: (outer) side; ``semi``/``anti`` emit each left row at most once,
+#: keeping only the left side's columns.
+JOIN_KINDS = ("inner", "left", "semi", "anti")
+
+#: NULL sentinels for padded columns of LEFT OUTER joins.  NumPy columns
+#: have no missing-value mask, so both the engine and the independent
+#: reference evaluator pad non-preserved columns with these values.  They
+#: sit far outside every generated data domain; NaN is deliberately *not*
+#: used because NaN != NaN would break multiset output comparison and
+#: lexsort-based grouping.
+NULL_INT = -(2**62)
+NULL_FLOAT = -1.0e18
+
 
 @dataclass(frozen=True)
 class JoinEdge:
-    """Equi-join between ``left_table.left_column`` and ``right_table.right_column``."""
+    """Equi-join between ``left_table.left_column`` and ``right_table.right_column``.
+
+    ``kind`` selects the join semantics (:data:`JOIN_KINDS`).  For
+    non-inner kinds the *left* table is the preserved/outer side: a
+    ``left`` edge keeps unmatched left rows (right columns NULL-padded),
+    ``semi``/``anti`` keep left rows with ≥1 / 0 partners and drop the
+    right table's columns entirely.
+    """
 
     left_table: str
     left_column: str
     right_table: str
     right_column: str
+    kind: str = "inner"
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOIN_KINDS:
+            raise ValueError(f"unknown join kind {self.kind!r}; "
+                             f"expected one of {JOIN_KINDS}")
 
     def touches(self, table: str) -> bool:
         return table in (self.left_table, self.right_table)
@@ -46,6 +73,58 @@ class JoinEdge:
         if table == self.right_table:
             return self.right_column
         raise ValueError(f"join {self} does not touch table {table!r}")
+
+
+def join_coverage(start: str, joins: list[JoinEdge]) -> tuple[set[str], int]:
+    """Saturate join-edge application from ``start`` under eligibility.
+
+    An inner edge may be applied once either endpoint is covered (a
+    both-covered edge is a cycle residual); a non-inner edge only once its
+    preserved (left) table is covered and its right table is not — outer,
+    semi and anti joins do not commute with joins that reach their
+    non-preserved side first.  Returns the covered table set and how many
+    edges were applied.  For tree-shaped join graphs (the only shape
+    allowed with non-inner edges) the result is order-independent.
+    """
+    covered = {start}
+    remaining = list(joins)
+    applied = 0
+    progressed = True
+    while progressed and remaining:
+        progressed = False
+        still: list[JoinEdge] = []
+        for edge in remaining:
+            if edge.kind == "inner":
+                eligible = (edge.left_table in covered
+                            or edge.right_table in covered)
+            else:
+                eligible = (edge.left_table in covered
+                            and edge.right_table not in covered)
+            if eligible:
+                covered.add(edge.left_table)
+                covered.add(edge.right_table)
+                applied += 1
+                progressed = True
+            else:
+                still.append(edge)
+        remaining = still
+    return covered, applied
+
+
+def valid_start_tables(tables: list[str], joins: list[JoinEdge]) -> list[str]:
+    """Tables from which a complete, semantics-preserving join order exists.
+
+    With only inner edges every table of a connected graph qualifies; a
+    non-inner edge additionally forces its preserved side to be reached
+    first, which rules out starts "downstream" of it.
+    """
+    n = len(set(tables))
+    starts = []
+    for t in tables:
+        covered, applied = join_coverage(t, joins)
+        if len(covered) == n and applied == len(joins):
+            starts.append(t)
+    return starts
 
 
 @dataclass(frozen=True)
@@ -98,6 +177,27 @@ class QuerySpec:
             raise ValueError(f"query {self.name!r} has non-positive TOP")
         if len(self.tables) > 1 and len(self.joins) < len(self.tables) - 1:
             raise ValueError(f"query {self.name!r} join graph is disconnected")
+        non_inner = [j for j in self.joins if j.kind != "inner"]
+        if non_inner:
+            # Outer/semi/anti joins only compose safely on tree-shaped join
+            # graphs: cycles can cover a non-preserved side from two
+            # directions, which makes the forced evaluation order ambiguous.
+            if len(self.joins) != len(self.tables) - 1:
+                raise ValueError(
+                    f"query {self.name!r} mixes non-inner joins with a "
+                    f"cyclic join graph")
+            for join in non_inner:
+                if join.kind in ("semi", "anti") and any(
+                        other is not join and other.touches(join.right_table)
+                        for other in self.joins):
+                    raise ValueError(
+                        f"query {self.name!r}: {join.kind} join target "
+                        f"{join.right_table!r} must be a leaf of the join "
+                        f"graph (its columns are not visible downstream)")
+            if not valid_start_tables(self.tables, self.joins):
+                raise ValueError(
+                    f"query {self.name!r} has no join order that reaches "
+                    f"every non-inner join's preserved side first")
 
     def filters_on(self, table: str) -> list[FilterSpec]:
         return [f for f in self.filters if f.table == table]

@@ -35,7 +35,10 @@ from repro.plan.nodes import Op
 #: v2: the engine's worst-case bounds for nested-loop probe sides changed
 #: (an inner INDEX_SEEK is bounded by outer-bound × table rows, not by the
 #: table alone), so v1 recordings carry unsound UB trajectories.
-TRACE_FORMAT_VERSION = 2
+#: v3: node manifests gained ``join_kind`` (LEFT OUTER / SEMI / ANTI join
+#: support); join bounds are kind-aware, so v2 recordings of non-inner
+#: plans could not be told apart from inner ones.
+TRACE_FORMAT_VERSION = 3
 
 #: Stacking order of the counter matrices inside the ``C`` member.
 COUNTER_KEYS = ("K", "R", "W", "LB", "UB")
@@ -78,6 +81,7 @@ def run_to_manifest(run: QueryRun) -> dict[str, Any]:
             "parent": n.parent,
             "is_driver": n.is_driver,
             "is_build_side": n.is_build_side,
+            "join_kind": n.join_kind,
         } for n in run.nodes],
         "pipelines": [{
             "pid": p.pid,
@@ -133,6 +137,7 @@ def run_from_members(manifest: dict[str, Any],
         parent=int(n["parent"]),
         is_driver=bool(n["is_driver"]),
         is_build_side=bool(n["is_build_side"]),
+        join_kind=str(n["join_kind"]),
     ) for n in manifest["nodes"]]
     pipelines = [PipelineInfo(
         pid=int(p["pid"]),

@@ -1,0 +1,36 @@
+"""The ``outer_semi`` workload family: non-inner-join-heavy ad-hoc queries.
+
+The paper's six workloads (§6) and the ``adhoc_fuzz`` extra are dominated
+by inner equi-joins.  This family reuses the fuzzer's star/snowflake
+generator but inverts the join-kind distribution so LEFT OUTER, SEMI and
+ANTI joins carry most of the plans — the regime where progress bounds
+differ structurally from the inner case (semi/anti are capped by the
+preserved side, outer joins pad unmatched probe rows).  It exists to
+answer one question end to end: do estimator selectors trained on
+inner-join-only workloads generalize to these semantics, and do the
+engine's SAFE/PMAX intervals stay sound there?  (See
+``benchmarks/bench_fuzz_generalization.py`` and the golden traces under
+``tests/golden``.)
+"""
+
+from __future__ import annotations
+
+from repro.catalog.table import Database
+from repro.fuzz.generate import FuzzSchemaInfo, generate_fuzz_workload
+from repro.query.logical import QuerySpec
+
+#: Inverted kind distribution: non-inner joins are the common case here.
+OUTER_SEMI_KIND_WEIGHTS = {
+    "inner": 0.15,
+    "left": 0.35,
+    "semi": 0.30,
+    "anti": 0.20,
+}
+
+
+def generate_outer_semi_workload(rows: int, n_queries: int, seed: int
+                                 ) -> tuple[Database, FuzzSchemaInfo,
+                                            list[QuerySpec]]:
+    """Database + non-inner-heavy query batch (deterministic in ``seed``)."""
+    return generate_fuzz_workload(rows, n_queries, seed,
+                                  kind_weights=OUTER_SEMI_KIND_WEIGHTS)

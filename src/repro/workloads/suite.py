@@ -5,13 +5,15 @@ The paper evaluates on six workloads (§6): TPC-DS, three TPC-H variants
 A :class:`WorkloadSuite` materializes them lazily at a chosen scale and
 caches the bundles, since several experiments share them.
 
-Beyond the paper's six, the suite exposes the generated ``adhoc_fuzz``
-family (:mod:`repro.fuzz`): a seeded random star/snowflake schema with a
-batch of ad-hoc queries, sized by the same :class:`SuiteScale`.  It is
+Beyond the paper's six, the suite exposes two generated families sized by
+the same :class:`SuiteScale`: ``adhoc_fuzz`` (:mod:`repro.fuzz`), a seeded
+random star/snowflake schema with a batch of ad-hoc inner-join-heavy
+queries, and ``outer_semi`` (:mod:`repro.workloads.outer_semi`), the same
+generator reweighted so LEFT OUTER / SEMI / ANTI joins dominate.  Both are
 deliberately *not* part of :data:`WORKLOAD_NAMES` — the §6.2
-leave-one-workload-out protocol iterates the paper's six — but it builds,
-executes, records and warm-starts exactly like the static families, so
-train-on-static / test-on-ad-hoc experiments can consume fuzzed bundles.
+leave-one-workload-out protocol iterates the paper's six — but they build,
+execute, record and warm-start exactly like the static families, so
+train-on-static / test-on-generated experiments can consume them.
 """
 
 from __future__ import annotations
@@ -46,7 +48,7 @@ WORKLOAD_NAMES = (
 )
 
 #: generated families beyond the paper's six (excluded from §6.2 folds)
-EXTRA_WORKLOAD_NAMES = ("adhoc_fuzz",)
+EXTRA_WORKLOAD_NAMES = ("adhoc_fuzz", "outer_semi")
 ALL_WORKLOAD_NAMES = WORKLOAD_NAMES + EXTRA_WORKLOAD_NAMES
 
 
@@ -77,6 +79,8 @@ class SuiteScale:
     tpch_z: float = 1.0  # the paper's default skew for workloads (2)-(4)
     fuzz_rows: int = 10_000      # fact rows of the adhoc_fuzz schema
     fuzz_queries: int = 60
+    outer_rows: int = 10_000     # fact rows of the outer_semi schema
+    outer_queries: int = 60
 
 
 class WorkloadSuite:
@@ -123,6 +127,7 @@ class WorkloadSuite:
             return scale.tpch_queries
         return {"tpcds": scale.tpcds_queries,
                 "adhoc_fuzz": scale.fuzz_queries,
+                "outer_semi": scale.outer_queries,
                 "real1": scale.real1_queries,
                 "real2": scale.real2_queries}[name]
 
@@ -155,6 +160,15 @@ class WorkloadSuite:
             db.schema.name = name
             level = (DesignLevel.UNTUNED, DesignLevel.PARTIAL,
                      DesignLevel.FULL)[(61 + self.seed) % 3]
+            design = design_for_workload(db, queries, level)
+        elif name == "outer_semi":
+            from repro.workloads.outer_semi import generate_outer_semi_workload
+
+            db, _, queries = generate_outer_semi_workload(
+                scale.outer_rows, scale.outer_queries, seed=72 + self.seed)
+            db.schema.name = name
+            level = (DesignLevel.UNTUNED, DesignLevel.PARTIAL,
+                     DesignLevel.FULL)[(72 + self.seed) % 3]
             design = design_for_workload(db, queries, level)
         elif name == "real1":
             db = generate_real1(scale.real1_rows, seed=23 + self.seed)

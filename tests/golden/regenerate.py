@@ -3,21 +3,28 @@
 Run from the repo root after any *intentional* change to the engine, the
 trace format or an estimator::
 
-    PYTHONPATH=src python tests/golden/regenerate.py
+    PYTHONPATH=src python tests/golden/regenerate.py --all
+
+or name the families to refresh selectively::
+
+    PYTHONPATH=src python tests/golden/regenerate.py fuzz outer_semi
 
 One tiny recorded trace per workload family (TPC-H, TPC-DS, skewed
-"real", and one fixed-seed ``adhoc_fuzz`` bundle), each a real execution
-of two generated queries at miniature scale, plus an
-``expected_<family>.npz`` holding the replayed estimator trajectories and
-TrainingData matrices.  ``tests/test_trace_golden.py``
-asserts exact (bitwise) equality against these files — so an accidental
-behaviour change in the engine, the trace codec or any estimator fails the
-suite with a pointer here, while an intentional one is a one-command
-regeneration whose diff code review can see.
+"real", one fixed-seed ``adhoc_fuzz`` bundle, and the non-inner-join
+``outer_semi`` bundle), each a real execution of two generated queries at
+miniature scale, plus an ``expected_<family>.npz`` holding the replayed
+estimator trajectories and TrainingData matrices.
+``tests/test_trace_golden.py`` asserts exact (bitwise) equality against
+these files — so an accidental behaviour change in the engine, the trace
+codec or any estimator fails the suite with a pointer here, while an
+intentional one is a one-command regeneration whose diff code review can
+see.  A ``TRACE_FORMAT_VERSION`` bump always implies ``--all``: partial
+refreshes would leave sibling families unreadable.
 """
 
 from __future__ import annotations
 
+import argparse
 from pathlib import Path
 
 import numpy as np
@@ -33,14 +40,14 @@ GOLDEN_DIR = Path(__file__).resolve().parent
 
 #: family label -> suite workload recorded for it
 FAMILIES = {"tpch": "tpch_untuned", "tpcds": "tpcds", "real": "real1",
-            "fuzz": "adhoc_fuzz"}
+            "fuzz": "adhoc_fuzz", "outer_semi": "outer_semi"}
 
 #: miniature scale: two queries per family over ~1k-row databases keeps
 #: each committed trace in the tens of kilobytes
 SCALE = SuiteScale(
     tpch_rows=1_200, tpcds_rows=1_000, real1_rows=900, real2_rows=900,
     tpch_queries=2, tpcds_queries=2, real1_queries=2, real2_queries=2,
-    fuzz_rows=900, fuzz_queries=2,
+    fuzz_rows=900, fuzz_queries=2, outer_rows=900, outer_queries=3,
 )
 SEED = 17
 EXECUTOR = dict(batch_size=256, memory_budget_bytes=float(64 << 10),
@@ -89,10 +96,25 @@ def record_family(suite: WorkloadSuite, family: str, workload: str) -> None:
           f"observations={[len(r.times) for r in runs]}")
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="regenerate committed golden traces")
+    parser.add_argument("families", nargs="*", metavar="family",
+                        help=f"families to refresh, from {list(FAMILIES)} "
+                             f"(default: all)")
+    parser.add_argument("--all", action="store_true", dest="all_families",
+                        help="regenerate every family (explicit form of "
+                             "the no-argument default)")
+    args = parser.parse_args(argv)
+    unknown = [f for f in args.families if f not in FAMILIES]
+    if unknown:
+        parser.error(f"unknown families {unknown}; choose from "
+                     f"{list(FAMILIES)}")
+    wanted = list(FAMILIES) if (args.all_families or not args.families) \
+        else list(dict.fromkeys(args.families))
     suite = WorkloadSuite(SCALE, seed=SEED)
-    for family, workload in FAMILIES.items():
-        record_family(suite, family, workload)
+    for family in wanted:
+        record_family(suite, family, FAMILIES[family])
 
 
 if __name__ == "__main__":

@@ -4,7 +4,9 @@ Used by ``test_progress_properties.py`` (and available to any other
 property suite): randomized monotone counter trajectories over a small
 operator zoo, both as directly constructed :class:`PipelineRun` objects
 and as trajectories recorded through the real :class:`ObservationLog`
-snapshot path.
+snapshot path — plus :func:`executed_join_run`, which runs a randomly
+drawn tiny join of a chosen kind (inner / left / semi / anti) through
+the *real* engine so per-kind bound soundness can be property-tested.
 """
 
 from __future__ import annotations
@@ -12,8 +14,11 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import strategies as st
 
+from repro.catalog.schema import Column, DatabaseSchema, TableSchema
+from repro.catalog.table import Database, Table
 from repro.engine.counters import UNBOUNDED, CounterStore, ObservationLog
-from repro.plan.nodes import Op
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.plan.nodes import Op, PlanNode
 
 from helpers import make_pipeline_run
 
@@ -74,3 +79,48 @@ def random_observation_log(draw):
         log.snapshot(now, store, store.K.copy(),
                      np.minimum(store.K + slack, UNBOUNDED))
     return log, totals
+
+
+@st.composite
+def executed_join_run(draw, kind: str):
+    """A real :class:`QueryRun` of a random tiny hash join of ``kind``.
+
+    The probe side's key domain is twice the build side's, so roughly
+    half the probe rows miss — exercising the pad path of LEFT OUTER,
+    the drop path of SEMI and the keep path of ANTI.  Engine knobs
+    (batch size, memory grant, estimates) are drawn too, so spilling and
+    estimate-error regimes both occur.
+    """
+    seed = draw(st.integers(0, 2**16))
+    n_dim = draw(st.integers(6, 16))
+    n_fact = draw(st.integers(40, 160))
+    batch = draw(st.sampled_from([16, 32, 64]))
+    budget = float(draw(st.sampled_from([2_048, 8_192, 64 << 10])))
+    est = float(draw(st.sampled_from([5, 50, 500])))
+    rng = np.random.default_rng(seed)
+    dim = Table(
+        TableSchema("dim", (Column("d_key"), Column("d_val", "float64"))),
+        {"d_key": np.arange(n_dim), "d_val": rng.uniform(0, 1, n_dim)},
+        clustered_on="d_key")
+    fact = Table(
+        TableSchema("fact", (Column("f_key"), Column("f_dim"),
+                             Column("f_val", "float64"))),
+        {"f_key": np.arange(n_fact),
+         "f_dim": np.sort(rng.integers(0, 2 * n_dim, n_fact)),
+         "f_val": rng.uniform(0, 100, n_fact)},
+        clustered_on="f_key")
+    db = Database(schema=DatabaseSchema(name="prop"))
+    db.add(dim)
+    db.add(fact)
+    params = {} if kind == "inner" else {"join_kind": kind}
+    plan = PlanNode(Op.HASH_JOIN,
+                    [PlanNode(Op.INDEX_SCAN, table="fact"),
+                     PlanNode(Op.INDEX_SCAN, table="dim")],
+                    probe_key="f_dim", build_key="d_key", **params)
+    plan.finalize()
+    for node in plan.walk():
+        if node.est_rows == 0.0:
+            node.est_rows = est
+    config = ExecutorConfig(batch_size=batch, memory_budget_bytes=budget,
+                            target_observations=25, seed=seed)
+    return QueryExecutor(db, config).execute(plan, f"prop_{kind}_{seed}")

@@ -12,7 +12,7 @@ from repro.catalog.schema import Column, DatabaseSchema, TableSchema
 from repro.catalog.table import Database, Table
 from repro.engine.executor import ExecutorConfig, QueryExecutor
 from repro.plan.nodes import Op, PlanNode
-from repro.query.logical import Aggregate
+from repro.query.logical import NULL_INT, Aggregate
 from repro.query.predicates import FilterSpec
 
 
@@ -203,6 +203,173 @@ class TestJoins:
         fact = db.table("fact")
         expected = int((fact.column("f_value") <= 25.0).sum())
         assert run.output_rows == expected
+
+
+def _half_dim_filter():
+    """Build side restricted to d_key < 20 so probe rows can miss."""
+    return PlanNode(Op.FILTER, [scan("dim")],
+                    predicates=[FilterSpec("dim", "d_key", "<", 20)])
+
+
+class TestJoinKinds:
+    """LEFT OUTER / SEMI / ANTI semantics on the hash- and merge-join
+    paths, each against a direct NumPy reference over the base tables."""
+
+    def _matched(self, db, cutoff=20):
+        fact = db.table("fact")
+        keys = db.table("dim").column("d_key")
+        return np.isin(fact.column("f_dim"), keys[keys < cutoff])
+
+    def test_hash_left_outer_pads_unmatched_probe_rows(self, db):
+        plan = PlanNode(Op.HASH_JOIN, [scan("fact"), _half_dim_filter()],
+                        probe_key="f_dim", build_key="d_key",
+                        join_kind="left")
+        run = execute(db, plan)
+        matched = self._matched(db)
+        assert run.output_rows == 1200  # every probe row survives
+        out = run.output
+        # probe order is preserved, so rows line up with the base table
+        assert (out.column("f_key") == np.arange(1200)).all()
+        assert (out.column("d_key")[matched]
+                == out.column("f_dim")[matched]).all()
+        assert (out.column("d_key")[~matched] == NULL_INT).all()
+
+    def test_hash_semi_keeps_matched_probe_rows_once(self, db):
+        plan = PlanNode(Op.HASH_JOIN, [scan("fact"), _half_dim_filter()],
+                        probe_key="f_dim", build_key="d_key",
+                        join_kind="semi")
+        run = execute(db, plan)
+        matched = self._matched(db)
+        assert run.output_rows == int(matched.sum())
+        assert "d_key" not in run.output.columns  # build side stays hidden
+        assert (run.output.column("f_dim") < 20).all()
+
+    def test_hash_anti_keeps_unmatched_probe_rows(self, db):
+        plan = PlanNode(Op.HASH_JOIN, [scan("fact"), _half_dim_filter()],
+                        probe_key="f_dim", build_key="d_key",
+                        join_kind="anti")
+        run = execute(db, plan)
+        matched = self._matched(db)
+        assert run.output_rows == int((~matched).sum())
+        assert "d_key" not in run.output.columns
+        assert (run.output.column("f_dim") >= 20).all()
+
+    def test_semi_plus_anti_partition_the_probe_side(self, db):
+        totals = []
+        for kind in ("semi", "anti"):
+            plan = PlanNode(Op.HASH_JOIN, [scan("fact"), _half_dim_filter()],
+                            probe_key="f_dim", build_key="d_key",
+                            join_kind=kind)
+            totals.append(execute(db, plan).output_rows)
+        assert sum(totals) == 1200
+
+    def test_merge_left_outer_pads_unmatched(self, db):
+        # f_key 0..39 match d_key 0..39; 40..1199 are padded
+        plan = PlanNode(Op.MERGE_JOIN, [scan("fact"), scan("dim")],
+                        outer_key="f_key", inner_key="d_key",
+                        join_kind="left")
+        run = execute(db, plan)
+        assert run.output_rows == 1200
+        out = run.output
+        assert (out.column("d_key")[:40] == np.arange(40)).all()
+        assert (out.column("d_key")[40:] == NULL_INT).all()
+
+    @pytest.mark.parametrize("kind,expected",
+                             [("inner", 0), ("left", 1200),
+                              ("semi", 0), ("anti", 1200)])
+    def test_hash_join_empty_build_side(self, db, kind, expected):
+        empty = PlanNode(Op.FILTER, [scan("dim")],
+                         predicates=[FilterSpec("dim", "d_key", "<", 0)])
+        plan = PlanNode(Op.HASH_JOIN, [scan("fact"), empty],
+                        probe_key="f_dim", build_key="d_key",
+                        join_kind=kind)
+        run = execute(db, plan)
+        assert run.output_rows == expected
+        if kind == "left":
+            assert (run.output.column("d_key") == NULL_INT).all()
+
+    @pytest.mark.parametrize("kind,expected", [("inner", 0), ("left", 1200)])
+    def test_merge_join_empty_inner_side(self, db, kind, expected):
+        empty = PlanNode(Op.FILTER, [scan("dim")],
+                         predicates=[FilterSpec("dim", "d_key", "<", 0)])
+        plan = PlanNode(Op.MERGE_JOIN, [scan("fact"), empty],
+                        outer_key="f_key", inner_key="d_key",
+                        join_kind=kind)
+        run = execute(db, plan)
+        assert run.output_rows == expected
+        if kind == "left":
+            assert (run.output.column("d_key") == NULL_INT).all()
+
+    @pytest.fixture()
+    def dup_db(self):
+        """All-duplicate join keys on both sides: a 6x4 cross per key."""
+        left = Table(
+            TableSchema("lhs", (Column("l_key"), Column("l_id"))),
+            {"l_key": np.full(6, 5), "l_id": np.arange(6)},
+            clustered_on="l_key")
+        right = Table(
+            TableSchema("rhs", (Column("r_key"), Column("r_id"))),
+            {"r_key": np.full(4, 5), "r_id": np.arange(4)},
+            clustered_on="r_key")
+        database = Database(schema=DatabaseSchema(name="dup"))
+        database.add(left)
+        database.add(right)
+        return database
+
+    @pytest.mark.parametrize("op", [Op.HASH_JOIN, Op.MERGE_JOIN])
+    @pytest.mark.parametrize("kind,expected",
+                             [("inner", 24), ("left", 24)])
+    def test_all_duplicate_keys_both_sides(self, dup_db, op, kind, expected):
+        if op is Op.HASH_JOIN:
+            plan = PlanNode(op, [scan("lhs"), scan("rhs")],
+                            probe_key="l_key", build_key="r_key",
+                            join_kind=kind)
+        else:
+            plan = PlanNode(op, [scan("lhs"), scan("rhs")],
+                            outer_key="l_key", inner_key="r_key",
+                            join_kind=kind)
+        run = execute(dup_db, plan)
+        assert run.output_rows == expected
+        # every lhs row pairs with every rhs row exactly once
+        pairs = set(zip(run.output.column("l_id").tolist(),
+                        run.output.column("r_id").tolist()))
+        assert len(pairs) == expected
+
+    @pytest.mark.parametrize("kind,expected", [("semi", 6), ("anti", 0)])
+    def test_all_duplicate_keys_semi_anti(self, dup_db, kind, expected):
+        plan = PlanNode(Op.HASH_JOIN, [scan("lhs"), scan("rhs")],
+                        probe_key="l_key", build_key="r_key",
+                        join_kind=kind)
+        run = execute(dup_db, plan)
+        assert run.output_rows == expected  # no duplication from the 4 matches
+
+    @pytest.mark.parametrize("kind", ["inner", "left"])
+    def test_merge_join_close_mid_stream(self, db, kind):
+        from repro.engine.executor import ExecContext
+        from repro.engine.iterators import build_iterator
+
+        plan = PlanNode(Op.MERGE_JOIN, [scan("fact"), scan("dim")],
+                        outer_key="f_key", inner_key="d_key",
+                        join_kind=kind).finalize()
+        for node in plan.walk():
+            if node.est_rows == 0.0:
+                node.est_rows = 100.0
+        executor = QueryExecutor(db, ExecutorConfig(
+            batch_size=16, target_observations=30, seed=1))
+        ctx = ExecContext(db, plan, executor.config, executor.cost_model)
+        iterator = build_iterator(plan, ctx)
+        iterator.open()
+        first = iterator.next_chunk()
+        assert first is not None and len(first) > 0
+        iterator.close()
+        assert iterator.next_chunk() is None  # close is sticky mid-stream
+
+    def test_merge_join_rejects_unsupported_kind(self, db):
+        plan = PlanNode(Op.MERGE_JOIN, [scan("fact"), scan("dim")],
+                        outer_key="f_key", inner_key="d_key",
+                        join_kind="semi")
+        with pytest.raises(ValueError, match="semi"):
+            execute(db, plan)
 
 
 class TestAggregates:

@@ -240,17 +240,20 @@ def test_cli_defaults_to_preset_seed_matrix(capsys):
 def test_check_hard_regimes_catches_soft_matrices():
     """A sweep that quietly loses the hard cases must fail the gate."""
     from repro.fuzz.harness import FuzzReport, ScenarioReport
+    from repro.query.logical import JOIN_KINDS
 
-    def scenario(seed, design, spills, checks=None):
+    def scenario(seed, design, spills, checks=None, join_kinds=None):
         return ScenarioReport(
             seed=seed, preset="ci-fast", rows=300, n_queries=2,
             n_pipelines=3, n_reports=10, spill_events=spills, design=design,
-            checks=checks or {layer: 1 for layer in ORACLE_LAYERS})
+            checks=checks or {layer: 1 for layer in ORACLE_LAYERS},
+            join_kinds=(join_kinds if join_kinds is not None
+                        else {kind: 1 for kind in JOIN_KINDS}))
 
     good = FuzzReport(scenarios=[scenario(1, "untuned", 2),
                                  scenario(2, "partial", 0),
                                  scenario(3, "full", 1)])
-    good.check_hard_regimes()  # spills + all designs + all layers: passes
+    good.check_hard_regimes()  # spills + designs + layers + kinds: passes
 
     no_spills = FuzzReport(scenarios=[scenario(1, "untuned", 0),
                                       scenario(2, "partial", 0),
@@ -268,6 +271,29 @@ def test_check_hard_regimes_catches_soft_matrices():
         scenario(2, "partial", 1), scenario(3, "full", 1)])
     with pytest.raises(AssertionError, match="every layer"):
         missing_layer.check_hard_regimes()
+
+    # a generator regression that stops drawing some join kind must fail
+    inner_only = {"inner": 4, "left": 0, "semi": 0, "anti": 0}
+    no_kinds = FuzzReport(scenarios=[
+        scenario(1, "untuned", 2, join_kinds=inner_only),
+        scenario(2, "partial", 1, join_kinds=inner_only),
+        scenario(3, "full", 1, join_kinds=inner_only)])
+    with pytest.raises(AssertionError, match="join kind"):
+        no_kinds.check_hard_regimes()
+
+
+def test_scenario_reports_join_kind_histogram():
+    """Every scenario reports its drawn join kinds, and the aggregate
+    histogram surfaces in the batch description."""
+    from repro.query.logical import JOIN_KINDS
+
+    report = run_fuzz(range(100, 104), preset("ci-fast"), jobs=1)
+    for s in report.scenarios:
+        assert set(s.join_kinds) == set(JOIN_KINDS)
+        assert "joins=[" in s.describe()
+    totals = report.kind_totals()
+    assert sum(totals.values()) > 0
+    assert "join kinds" in report.describe()
 
 
 def test_cli_require_hard_regimes(capsys):
@@ -306,7 +332,7 @@ _FUZZ_TEST_SCALE = ScaleProfile(
     suite=SuiteScale(
         tpch_rows=1_000, tpcds_rows=1_000, real1_rows=900, real2_rows=900,
         tpch_queries=2, tpcds_queries=2, real1_queries=2, real2_queries=2,
-        fuzz_rows=500, fuzz_queries=4,
+        fuzz_rows=500, fuzz_queries=4, outer_rows=500, outer_queries=4,
     ),
     memory_budget_bytes=float(64 << 10),
     batch_size=256,
@@ -331,6 +357,22 @@ def test_suite_exposes_adhoc_fuzz():
         bundle.planner.plan(query)
     with pytest.raises(KeyError, match="adhoc_fuzz"):
         suite.bundle("not_a_workload")
+
+
+def test_suite_exposes_outer_semi():
+    """The non-inner-heavy family builds, plans, and actually leans on
+    LEFT OUTER / SEMI / ANTI joins (that is its reason to exist)."""
+    suite = WorkloadSuite(_FUZZ_TEST_SCALE.suite, seed=0)
+    assert "outer_semi" in suite.all_names
+    assert "outer_semi" not in suite.names  # not a §6.2 fold
+    assert suite.query_count("outer_semi") == 4
+    bundle = suite.bundle("outer_semi")
+    assert bundle.db.name == "outer_semi"
+    assert len(bundle.queries) == 4
+    kinds = [edge.kind for query in bundle.queries for edge in query.joins]
+    assert any(k != "inner" for k in kinds), kinds
+    for query in bundle.queries:
+        bundle.planner.plan(query)
 
 
 def test_adhoc_fuzz_warm_starts_from_trace_store(tmp_path):

@@ -59,6 +59,30 @@ class TestCardinalityEstimator:
         high = card.group_count(10_000, [100])
         assert low < high <= 100
 
+    def test_semi_join_bounded_by_outer_side(self, card, tpch_db):
+        n_li = tpch_db.table("lineitem").n_rows
+        n_orders = tpch_db.table("orders").n_rows
+        li_ndv = card.ndv("lineitem", "l_orderkey")
+        o_ndv = card.ndv("orders", "o_orderkey")
+        semi = card.semi_join_cardinality(n_li, n_orders, li_ndv, o_ndv)
+        assert 0.0 <= semi <= n_li
+        # every lineitem has an order: the FK semi join keeps ~everything
+        assert semi == pytest.approx(n_li, rel=0.2)
+
+    def test_anti_join_complements_semi(self, card):
+        semi = card.semi_join_cardinality(1000, 50, 200, 50)
+        anti = card.anti_join_cardinality(1000, 50, 200, 50)
+        assert anti == pytest.approx(1000 - semi)
+        assert anti >= 0.0
+        # an empty inner side keeps every outer row
+        assert card.anti_join_cardinality(1000, 0, 200, 1) == 1000.0
+
+    def test_outer_join_at_least_preserved_side(self, card):
+        for right in (0, 5, 500):
+            est = card.outer_join_cardinality(1000, right, 200,
+                                              max(right, 1))
+            assert est >= 1000.0  # never below the preserved side
+
 
 class TestPhysicalDesign:
     @pytest.fixture(scope="class")
@@ -178,3 +202,45 @@ class TestPlanner:
         plan = tpch_planner.plan(join_query)
         ids = [n.node_id for n in plan.walk()]
         assert ids == list(range(len(ids)))
+
+    @pytest.mark.parametrize("kind", ["left", "semi", "anti"])
+    def test_non_inner_join_kind_lands_on_the_join_node(self, tpch_planner,
+                                                        kind):
+        q = QuerySpec(
+            name="q", tables=["orders", "lineitem"],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem",
+                            "l_orderkey", kind)])
+        plan = tpch_planner.plan(q)
+        joins = [n for n in plan.walk()
+                 if n.op in (Op.HASH_JOIN, Op.MERGE_JOIN,
+                             Op.NESTED_LOOP_JOIN)]
+        assert len(joins) == 1
+        assert joins[0].params.get("join_kind") == kind
+        if kind in ("semi", "anti"):  # NLJ/merge can't run these kinds
+            assert joins[0].op == Op.HASH_JOIN
+
+    def test_inner_plans_carry_no_join_kind_param(self, tpch_planner,
+                                                  join_query):
+        plan = tpch_planner.plan(join_query)
+        for node in plan.walk():
+            assert "join_kind" not in node.params  # inner stays byte-stable
+
+    def test_non_inner_join_starts_from_preserved_side(self, tpch_planner):
+        # lineitem is far larger, but the semi join preserves orders, so
+        # the join order must reach orders first regardless of cost
+        q = QuerySpec(
+            name="q", tables=["lineitem", "orders"],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem",
+                            "l_orderkey", "semi")])
+        plan = tpch_planner.plan(q)
+        joins = [n for n in plan.walk() if n.op == Op.HASH_JOIN]
+        assert joins and joins[0].params.get("join_kind") == "semi"
+
+    def test_semi_join_estimate_bounded_by_outer(self, tpch_planner,
+                                                 tpch_db):
+        q = QuerySpec(
+            name="q", tables=["orders", "lineitem"],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem",
+                            "l_orderkey", "semi")])
+        plan = tpch_planner.plan(q)
+        assert plan.est_rows <= tpch_db.table("orders").n_rows * 1.01

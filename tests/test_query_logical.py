@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.query.logical import (
+    JOIN_KINDS,
+    Aggregate,
+    JoinEdge,
+    QuerySpec,
+    valid_start_tables,
+)
 from repro.query.predicates import FilterSpec
 
 
@@ -95,3 +101,58 @@ class TestQuerySpecValidation:
     def test_is_aggregate(self):
         assert not two_table_query().is_aggregate
         assert two_table_query(aggregates=[Aggregate("count")]).is_aggregate
+
+
+class TestJoinKinds:
+    def test_default_kind_is_inner(self):
+        assert JoinEdge("a", "x", "b", "y").kind == "inner"
+        assert set(JOIN_KINDS) == {"inner", "left", "semi", "anti"}
+
+    @pytest.mark.parametrize("kind", JOIN_KINDS)
+    def test_every_kind_accepted(self, kind):
+        edge = JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey",
+                        kind)
+        q = two_table_query(joins=[edge])
+        assert q.joins[0].kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            JoinEdge("a", "x", "b", "y", "full")
+
+    def test_non_inner_cyclic_graph_rejected(self):
+        # three tables, three edges: a cycle can cover a non-preserved
+        # side from two directions, so non-inner kinds require a tree
+        edges = [JoinEdge("a", "x", "b", "y"),
+                 JoinEdge("b", "x", "c", "y"),
+                 JoinEdge("a", "x", "c", "y", "semi")]
+        with pytest.raises(ValueError, match="cyclic"):
+            QuerySpec(name="q", tables=["a", "b", "c"], joins=edges)
+
+    def test_semi_target_must_be_leaf(self):
+        # b is the semi join's hidden side but also joins on to c:
+        # its columns would be referenced after being filtered away
+        edges = [JoinEdge("a", "x", "b", "y", "semi"),
+                 JoinEdge("b", "x", "c", "y")]
+        with pytest.raises(ValueError, match="leaf"):
+            QuerySpec(name="q", tables=["a", "b", "c"], joins=edges)
+
+    def test_unreachable_preserved_side_rejected(self):
+        # both left joins preserve their own side and target b, so no
+        # join order reaches either preserved side first
+        edges = [JoinEdge("a", "x", "b", "y", "left"),
+                 JoinEdge("c", "x", "b", "y", "left")]
+        with pytest.raises(ValueError, match="no join order"):
+            QuerySpec(name="q", tables=["a", "b", "c"], joins=edges)
+
+    def test_valid_start_tables_orders_preserved_side_first(self):
+        edges = [JoinEdge("a", "x", "b", "y", "left"),
+                 JoinEdge("b", "x", "c", "y", "anti")]
+        starts = valid_start_tables(["a", "b", "c"], edges)
+        assert starts == ["a"]  # only a reaches both preserved sides first
+        q = QuerySpec(name="q", tables=["a", "b", "c"], joins=edges)
+        assert q.joins[1].kind == "anti"
+
+    def test_inner_joins_keep_every_start(self):
+        edges = [JoinEdge("a", "x", "b", "y"),
+                 JoinEdge("b", "x", "c", "y")]
+        assert valid_start_tables(["a", "b", "c"], edges) == ["a", "b", "c"]

@@ -15,13 +15,24 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.core.monitor import ProgressMonitor
 from repro.core.training import collect_training_data, runs_to_pipelines
+from repro.engine.executor import ExecutorConfig
 from repro.features.vector import FeatureExtractor
+from repro.fuzz.harness import _monitored_execute
+from repro.fuzz.oracle import (
+    OracleContext,
+    check_incremental_parity,
+    check_service_parity,
+    check_trace_roundtrip,
+)
 from repro.progress.registry import all_estimators
 from repro.trace import TRACE_FORMAT_VERSION, read_trace
+from repro.trace.format import run_to_manifest, run_to_members
+from repro.workloads.suite import WorkloadSuite
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
-FAMILIES = ("tpch", "tpcds", "real", "fuzz")
+FAMILIES = ("tpch", "tpcds", "real", "fuzz", "outer_semi")
 
 ESTIMATORS = all_estimators(include_worst_case=True)
 
@@ -80,3 +91,64 @@ class TestGoldenTrace:
         for i in range(len(pipelines)):
             for est in ESTIMATORS:
                 assert f"p{i}_{est.name}" in names, (family, i, est.name)
+
+
+@pytest.fixture(scope="module")
+def outer_semi_live():
+    """Re-execute the committed ``outer_semi`` bundle live, monitored.
+
+    Deterministic: the suite scale, seed and executor knobs come straight
+    from ``tests/golden/regenerate.py``, so the runs must be bit-identical
+    to the committed trace.
+    """
+    from golden.regenerate import EXECUTOR, SCALE, SEED
+
+    suite = WorkloadSuite(SCALE, seed=SEED)
+    bundle = suite.bundle("outer_semi")
+    monitor = ProgressMonitor(refresh_every=2)
+    runs, streams = [], []
+    for i, query in enumerate(bundle.queries):
+        config = ExecutorConfig(**EXECUTOR, seed=SEED * 1_000 + i)
+        run, reports = _monitored_execute(
+            bundle.db, bundle.planner.plan(query), query.name,
+            config, monitor)
+        runs.append(run)
+        streams.append(reports)
+    return monitor, runs, streams
+
+
+class TestOuterSemiAcceptance:
+    """The ``outer_semi`` family end to end: the committed golden trace
+    must replay bit-identically through all four consumption paths —
+    live re-execution, batch (incremental-vs-batch estimator parity),
+    trace round-trip/replay, and the pooled progress service."""
+
+    def test_committed_trace_exercises_non_inner_joins(self):
+        runs, _ = read_trace(GOLDEN_DIR / "outer_semi")
+        kinds = {n.join_kind for run in runs for n in run.nodes}
+        assert kinds - {"inner"}, (
+            f"outer_semi golden trace only contains join kinds {kinds}; "
+            f"it exists to pin non-inner semantics")
+
+    def test_live_execution_matches_committed_trace(self, outer_semi_live):
+        _, live_runs, _ = outer_semi_live
+        committed, _ = read_trace(GOLDEN_DIR / "outer_semi")
+        assert len(live_runs) == len(committed)
+        for live, gold in zip(live_runs, committed):
+            assert run_to_manifest(live) == run_to_manifest(gold)
+            live_m = run_to_members(live)
+            gold_m = run_to_members(gold)
+            for key in live_m:
+                assert np.array_equal(live_m[key], gold_m[key]), (
+                    live.query_name, key)
+
+    def test_batch_replay_and_service_parity(self, outer_semi_live):
+        monitor, runs, streams = outer_semi_live
+        repro = "PYTHONPATH=src python tests/golden/regenerate.py outer_semi"
+        for run, reports in zip(runs, streams):
+            ctx = OracleContext(seed=17, repro=repro, query=run.query_name)
+            check_incremental_parity(run, reports, monitor, ctx)
+            check_trace_roundtrip(run, reports, monitor, ctx)
+        check_service_parity(runs, streams, monitor,
+                             OracleContext(seed=17, repro=repro),
+                             slice_steps=3, max_live=2)
