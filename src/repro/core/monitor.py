@@ -375,8 +375,8 @@ class ProgressMonitor:
     # -- phase 2: finalization ----------------------------------------------
 
     def finalize(self, draft: ReportDraft, state: MonitorState,
-                 resolve: Callable[[str, np.ndarray], str] | None = None
-                 ) -> ProgressReport:
+                 resolve: Callable[[str, np.ndarray], str] | None = None,
+                 values: dict[int, float] | None = None) -> ProgressReport:
         """Turn a draft into a report, committing selections into ``state``.
 
         ``resolve(kind, features)`` supplies the chosen estimator name for
@@ -387,7 +387,11 @@ class ProgressMonitor:
 
         Incremental drafts advance the per-pipeline streaming states by
         their delta rows; batch drafts recompute ``estimate(pr)[-1]``.
-        Drafts must be finalized in capture order (both drivers do).
+        ``values`` short-circuits both: the service's vectorized flush
+        advances structure-of-arrays states for all sessions at once and
+        hands the per-pipeline results in (selection commitment and
+        report assembly still run here, so the report surface is shared).
+        Drafts must be finalized in capture order (all drivers do).
         """
         if resolve is None:
             resolve = self._resolve_one
@@ -409,7 +413,9 @@ class ProgressMonitor:
                 state.cursors.pop(pid, None)
                 continue
             name = self._commit_choice(snap, state, resolve)
-            if snap.ticks is not None:
+            if values is not None:
+                value = values[pid]
+            elif snap.ticks is not None:
                 value = self._advance_streams(snap, name, state)
             else:
                 value = float(self.estimators[name].estimate(snap.pr)[-1])

@@ -110,19 +110,26 @@ class ObservationLog:
     def last_time(self) -> float:
         return self.times[-1] if self.times else -np.inf
 
-    def as_arrays(self) -> dict[str, np.ndarray]:
-        """Materialize the log as dense arrays of shape ``(T, n_nodes)``."""
-        if not self.times:
+    def as_arrays(self, stop: int | None = None) -> dict[str, np.ndarray]:
+        """Materialize the log as dense arrays of shape ``(T, n_nodes)``.
+
+        ``stop`` truncates to the first ``stop`` snapshots — the as-of
+        view a deferred consumer needs to reconstruct what the log looked
+        like at an earlier observation (rows are append-only, so the
+        prefix is exactly the historical log).
+        """
+        times = self.times if stop is None else self.times[:stop]
+        if not times:
             empty = np.empty((0, self.n_nodes))
             return {"times": np.empty(0), "K": empty, "R": empty.copy(),
                     "W": empty.copy(), "LB": empty.copy(), "UB": empty.copy(),
                     "D": np.empty((0, self.n_nodes), dtype=bool)}
         return {
-            "times": np.asarray(self.times),
-            "K": np.vstack(self._K),
-            "R": np.vstack(self._R),
-            "W": np.vstack(self._W),
-            "LB": np.vstack(self._LB),
-            "UB": np.vstack(self._UB),
-            "D": np.vstack(self._D),
+            "times": np.asarray(times),
+            "K": np.vstack(self._K[:stop]),
+            "R": np.vstack(self._R[:stop]),
+            "W": np.vstack(self._W[:stop]),
+            "LB": np.vstack(self._LB[:stop]),
+            "UB": np.vstack(self._UB[:stop]),
+            "D": np.vstack(self._D[:stop]),
         }

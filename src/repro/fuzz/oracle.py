@@ -320,14 +320,22 @@ def check_service_parity(runs: list[QueryRun],
                          slice_steps: int = 4,
                          max_live: int | None = None) -> None:
     layer = "service"
-    service = ProgressService(monitor, slice_steps=slice_steps,
-                              max_live=max_live)
-    ids = [service.submit_replay(run) for run in runs]
-    service.run_until_complete(max_ticks=1_000_000)
-    for sid, solo, run in zip(ids, solo_reports, runs):
-        session = service.session(sid)
-        _require(report_streams_equal(solo, session.reports), layer, ctx,
-                 f"service-scheduled reports for {run.query_name!r} "
-                 f"diverge from solo monitoring "
-                 f"({len(session.reports)} vs {len(solo)} reports; "
-                 f"slice_steps={slice_steps}, max_live={max_live})")
+    for vectorized in (True, False):
+        service = ProgressService(monitor, slice_steps=slice_steps,
+                                  max_live=max_live, vectorized=vectorized)
+        ids = [service.submit_replay(run) for run in runs]
+        service.run_until_complete(max_ticks=1_000_000)
+        mode = ("vectorized" if service.vectorized else
+                "scalar" if not vectorized else "scalar-fallback")
+        for sid, solo, run in zip(ids, solo_reports, runs):
+            session = service.session(sid)
+            _require(report_streams_equal(solo, session.reports), layer, ctx,
+                     f"service-scheduled reports ({mode} flush) for "
+                     f"{run.query_name!r} diverge from solo monitoring "
+                     f"({len(session.reports)} vs {len(solo)} reports; "
+                     f"slice_steps={slice_steps}, max_live={max_live})")
+        _require(service.stats.sessions_completed
+                 == service.stats.sessions_submitted, layer, ctx,
+                 f"service drained ({mode}) but completed "
+                 f"{service.stats.sessions_completed} of "
+                 f"{service.stats.sessions_submitted} submitted sessions")

@@ -1,0 +1,458 @@
+"""The vectorized flush: one NumPy pass per estimator kind per tick.
+
+The scalar flush finalizes each session's drafts one by one, advancing
+that session's streaming states in Python — O(sessions × estimators)
+interpreter work per tick.  :class:`VectorizedFlush` replaces the whole
+flush phase when every estimator in the monitor's pool has a native
+structure-of-arrays kernel (:mod:`repro.progress.soa`):
+
+1. **plan** — sessions capture only *which* observation rows are due
+   reports (:attr:`QuerySession.pending_reports`); the flush rebuilds
+   each due report's :class:`~repro.core.monitor.ReportDraft` causally
+   from the log rows (pipeline status as of the row, cursor advancement,
+   selection bookkeeping through the monitor's own ``_selection_needs``),
+   registering every running pipeline's delta rows against its pool slot;
+2. **resolve** — pending estimator selections of all sessions are
+   deduplicated and scored in one batched pass, exactly like the scalar
+   flush;
+3. **gather/advance** — all registered rows are gathered into flat
+   ``(rows, width)`` zero-padded arrays and every needed estimator kind
+   advances once over the whole batch;
+4. **finalize** — the per-row results are handed to
+   :meth:`ProgressMonitor.finalize` via its ``values`` argument, draft by
+   draft in capture order, so report assembly, selection commitment and
+   the report surface stay shared with the scalar path.
+
+Causality notes (why this reproduces the callback-time captures
+bit-for-bit):
+
+* a pipeline's *started* status at row ``R`` is reconstructed from the
+  recorded start times (replay: ``t_start <= times[R]``, the same rule
+  ``ReplayContext.seek`` applies) or from a copy of ``pipe_first`` taken
+  in the observation callback (live: zero-cost charges may start a
+  pipeline at exactly ``times[R]`` *after* the observation fired, so the
+  reconstruction from times alone would not be causal);
+* *done* status comes from the logged done-flag row, which is what the
+  callback-time capture read;
+* per-slot row sets mirror the scalar capture rule as of the END of the
+  previous flush (captures run in callbacks before the scalar flush, so
+  all drafts of one flush see the pre-flush prune state) — slot flags
+  are therefore read during planning and updated only after finalize;
+* feature extraction at a selection-opening row rebuilds the causal
+  trajectory view with the scalar code path itself: replay contexts are
+  seeked to ``R`` and restored, live contexts get an as-of adapter over
+  the append-only observation log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.monitor import (
+    DYNAMIC,
+    PipeSnapshot,
+    ProgressMonitor,
+    ReportDraft,
+    _capture_tick,
+    _pipeline_meta,
+)
+from repro.engine.run import live_pipeline_run
+from repro.progress.soa import FlushBatch, SoAPool, batched_states
+from repro.progress.streaming import tick_driver_fraction
+
+
+class _AsOfLog:
+    """Truncated view of a live observation log (rows ``< stop``)."""
+
+    __slots__ = ("_log", "_stop")
+
+    def __init__(self, log, stop: int):
+        self._log = log
+        self._stop = stop
+
+    def as_arrays(self):
+        return self._log.as_arrays(stop=self._stop)
+
+
+class _AsOfCounters:
+    __slots__ = ("K", "done")
+
+    def __init__(self, row):
+        self.K = row.K
+        self.done = row.D
+
+
+class _AsOfClock:
+    __slots__ = ("now",)
+
+    def __init__(self, now: float):
+        self.now = now
+
+
+class _AsOfLive:
+    """ExecContext view of a live execution *as of* an earlier row.
+
+    Presents exactly the surface :func:`live_pipeline_run` consumes, with
+    every mutable input rolled back to observation ``row_index``: the log
+    truncated (rows are append-only, so the prefix is the historical
+    log), counters/done flags from the logged row, the clock at the row's
+    time and the ``pipe_first`` copy captured in the callback.
+    """
+
+    __slots__ = ("log", "counters", "clock", "pipe_first", "parents", "db")
+
+    def __init__(self, ctx, row_index: int, pipe_first: np.ndarray):
+        row = ctx.log.row(row_index)
+        self.log = _AsOfLog(ctx.log, row_index + 1)
+        self.counters = _AsOfCounters(row)
+        self.clock = _AsOfClock(float(row.time))
+        self.pipe_first = pipe_first
+        self.parents = ctx.parents
+        self.db = ctx.db
+
+
+class _SlotRec:
+    """Per-(session, pipeline) flush bookkeeping, mirroring the scalar
+    :class:`~repro.core.monitor.PipelineStreams` lifecycle flags."""
+
+    __slots__ = ("slot", "advanced", "pruned", "keep_all", "luo_alive")
+
+    def __init__(self, slot: int, has_stateful: bool):
+        self.slot = slot
+        #: finalized at least once (scalar: streams object exists)
+        self.advanced = False
+        #: selection became final; non-chosen states dropped
+        self.pruned = False
+        #: capture every row since the cursor (scalar: streams.stateful
+        #: non-empty, or streams not yet created)
+        self.keep_all = True
+        #: the stateful (LUO) slot state still advances
+        self.luo_alive = has_stateful
+
+
+class _Item:
+    """One running pipeline inside one draft."""
+
+    __slots__ = ("snap", "rec", "pos", "name")
+
+    def __init__(self, snap: PipeSnapshot, rec: _SlotRec, pos: int):
+        self.snap = snap
+        self.rec = rec
+        self.pos = pos  # index of the report row within the slot's rows
+        self.name = None
+
+
+class VectorizedFlush:
+    """Flush-phase driver advancing all sessions' states per kind at once."""
+
+    def __init__(self, monitor: ProgressMonitor, pool: SoAPool, states):
+        self.monitor = monitor
+        self.pool = pool
+        self.states = states
+        self._stateful_names = {n for n, s in states.items() if s.stateful}
+        self._has_stateful = bool(self._stateful_names)
+        #: session_id -> pid -> slot record
+        self._recs: dict[int, dict[int, _SlotRec]] = {}
+        self._to_release: list[_SlotRec] = []
+
+    @classmethod
+    def create(cls, monitor: ProgressMonitor) -> "VectorizedFlush | None":
+        """A flush driver for ``monitor``, or ``None`` when the scalar
+        path must be kept (batch-mode monitor, or an estimator without a
+        native SoA kernel)."""
+        if not monitor.incremental:
+            return None
+        pool = SoAPool()
+        states = batched_states(monitor.estimators, pool)
+        if states is None:
+            return None
+        return cls(monitor, pool, states)
+
+    def release_session(self, session) -> None:
+        """Free every slot a completed session still holds."""
+        recs = self._recs.pop(session.session_id, None)
+        if recs:
+            for rec in recs.values():
+                self._release(rec)
+
+    def _release(self, rec: _SlotRec) -> None:
+        self.pool.release(rec.slot)
+        for st in self.states.values():
+            st.release(rec.slot)
+
+    # -- the flush -----------------------------------------------------------
+
+    def flush(self, drafted, scorer, stats, on_report) -> None:
+        """Produce every due report of ``drafted`` (ascending session id)."""
+        slot_lists: dict[int, list[int]] = {}
+        slot_meta: dict[int, object] = {}
+        slot_session: dict[int, object] = {}
+        slot_recs: dict[int, _SlotRec] = {}
+        planned = [
+            (session, self._plan_session(session, slot_lists, slot_meta,
+                                         slot_session, slot_recs))
+            for session in drafted]
+
+        # batched selection resolve — same dedup rule as the scalar flush
+        requests: list[tuple[str, object]] = []
+        targets: list[tuple[object, int, str]] = []
+        for session, per in planned:
+            seen: set[tuple[int, str]] = set()
+            for draft, _items in per:
+                for snap in draft.pending_selections(session.state):
+                    key = (snap.pid, snap.kind)
+                    if key in seen:
+                        continue  # first observation wins, as in solo mode
+                    seen.add(key)
+                    requests.append((snap.kind, snap.features))
+                    targets.append((session, snap.pid, snap.kind))
+        if requests:
+            names = scorer.resolve(requests)
+            for (session, pid, kind), name in zip(targets, names):
+                made = (session.state.dynamic_choices if kind == DYNAMIC
+                        else session.state.static_choices)
+                made[pid] = name
+
+        # peek each item's (now committed) choice; the kinds to advance
+        monitor = self.monitor
+        needed: set[str] = set()
+        for session, per in planned:
+            state = session.state
+            for _draft, items in per:
+                for it in items:
+                    pid = it.snap.pid
+                    if it.snap.kind == DYNAMIC:
+                        name = state.dynamic_choices[pid]
+                    elif monitor.static_selector is None:
+                        name = state.static_choices.get(pid, monitor.fallback)
+                    else:
+                        name = state.static_choices[pid]
+                    it.name = name
+                    needed.add(name)
+
+        # gather all rows once; one advance per kind over the whole batch
+        arrs: dict[str, np.ndarray] = {}
+        flat_lo: dict[int, int] = {}
+        if slot_lists:
+            batch = self._gather(slot_lists, slot_meta, slot_session, flat_lo)
+            for name in needed - self._stateful_names:
+                arrs[name] = self.states[name].advance(batch)
+            if self._has_stateful:
+                alive = np.zeros(len(batch), dtype=bool)
+                for slot, (lo, hi) in batch.slot_rows.items():
+                    if slot_recs[slot].luo_alive:
+                        alive[lo:hi] = True
+                for name in self._stateful_names:
+                    out = self.states[name].advance(batch, row_mask=alive)
+                    if name in needed:
+                        arrs[name] = out
+
+        # finalize in capture order; apply end-of-flush prune bookkeeping
+        no_dynamic = monitor.dynamic_selector is None
+        for session, per in planned:
+            for draft, items in per:
+                values = {
+                    it.snap.pid: float(arrs[it.name][flat_lo[it.rec.slot]
+                                                     + it.pos])
+                    for it in items}
+                report = monitor.finalize(draft, session.state, values=values)
+                session.reports.append(report)
+                stats.reports += 1
+                if on_report is not None:
+                    on_report(session, report)
+                for it in items:
+                    rec = it.rec
+                    rec.advanced = True
+                    if not rec.pruned:
+                        if it.snap.kind == DYNAMIC or no_dynamic:
+                            rec.pruned = True
+                            alive_now = it.name in self._stateful_names
+                            rec.keep_all = alive_now
+                            rec.luo_alive = alive_now
+                        else:
+                            rec.keep_all = self._has_stateful
+
+        # slots of pipelines that reported done are safe to recycle now
+        for rec in self._to_release:
+            self._release(rec)
+        self._to_release.clear()
+
+    # -- phase 1: causal planning --------------------------------------------
+
+    def _plan_session(self, session, slot_lists, slot_meta, slot_session,
+                      slot_recs):
+        monitor = self.monitor
+        state = session.state
+        ctx = session.handle_ctx
+        replay = hasattr(ctx, "observation_index")
+        recs = self._recs.setdefault(session.session_id, {})
+        if state.weights is None:
+            total_e = sum(max(n.est_rows, 0.0)
+                          for n in ctx.plan.walk()) or 1.0
+            state.weights = {
+                pipe.pid: sum(max(n.est_rows, 0.0)
+                              for n in pipe.nodes) / total_e
+                for pipe in ctx.pipelines}
+        per = []
+        starts = session.pending_starts
+        for j, R in enumerate(session.pending_reports):
+            if replay:
+                run = ctx.run
+                time_R = float(run.times[R])
+                D_R = run.D[R]
+                pf = None
+            else:
+                row = ctx.log.row(R)
+                time_R = float(row.time)
+                D_R = row.D
+                pf = starts[j]
+            pipes: list[PipeSnapshot] = []
+            items: list[_Item] = []
+            for pipe in ctx.pipelines:
+                pid = pipe.pid
+                weight = state.weights[pid]
+                if replay:
+                    t_start = float(ctx._t_starts[pid])
+                    started = t_start <= time_R
+                else:
+                    started = bool(np.isfinite(pf[pid]))
+                    t_start = float(pf[pid]) if started else 0.0
+                if not started:
+                    pipes.append(PipeSnapshot(pid, weight, "unstarted"))
+                    continue
+                if D_R[pipe.terminal.node_id]:
+                    pipes.append(PipeSnapshot(pid, weight, "done"))
+                    rec = recs.pop(pid, None)
+                    if rec is not None:
+                        self._to_release.append(rec)
+                    continue
+                cursor = state.cursors.get(pid)
+                if cursor is None:
+                    # first sight: rows since the activity window opened,
+                    # evaluated against the log as of row R
+                    if replay:
+                        start = int(np.searchsorted(run.times[:R + 1],
+                                                    t_start, side="left"))
+                    else:
+                        start = ctx.log.start_index(t_start)
+                    if R - start + 1 < 2:
+                        pipes.append(PipeSnapshot(pid, weight, "short"))
+                        continue
+                meta = state.metas.get(pid)
+                if meta is None:
+                    meta = _pipeline_meta(ctx, pipe)
+                    state.metas[pid] = meta
+                rec = recs.get(pid)
+                if rec is None:
+                    slot = self.pool.pack(meta)
+                    for st in self.states.values():
+                        st.pack(slot)
+                    rec = _SlotRec(slot, self._has_stateful)
+                    recs[pid] = rec
+                    slot_recs[slot] = rec
+                if cursor is None:
+                    lo_row = start
+                elif not rec.advanced or rec.keep_all:
+                    lo_row = cursor
+                else:
+                    lo_row = R  # memoryless-only: the report row suffices
+                state.cursors[pid] = R + 1
+                lst = slot_lists.setdefault(rec.slot, [])
+                if rec.slot not in slot_meta:
+                    slot_meta[rec.slot] = meta
+                    slot_session[rec.slot] = session
+                    slot_recs[rec.slot] = rec
+                lst.extend(range(lo_row, R + 1))
+                pos = len(lst) - 1
+
+                def fraction(meta=meta, R=R, log=ctx.log):
+                    return tick_driver_fraction(
+                        meta, _capture_tick(log.row(R), meta))
+
+                def make_pr(pipe=pipe, R=R, pf=pf, ctx=ctx, replay=replay):
+                    if replay:
+                        save = ctx.observation_index
+                        ctx.seek(R)
+                        try:
+                            return ctx.live_pipeline_run(pipe)
+                        finally:
+                            ctx.seek(save)
+                    return live_pipeline_run(_AsOfLive(ctx, R, pf), pipe)
+
+                kind, features = monitor._selection_needs(
+                    pid, state, fraction, make_pr)
+                snap = PipeSnapshot(pid, weight, "running", kind=kind,
+                                    features=features)
+                pipes.append(snap)
+                items.append(_Item(snap, rec, pos))
+            per.append((ReportDraft(time=time_R, pipes=pipes), items))
+        session.pending_reports.clear()
+        session.pending_starts.clear()
+        return per
+
+    # -- phase 3: gather ------------------------------------------------------
+
+    def _gather(self, slot_lists, slot_meta, slot_session,
+                flat_lo) -> FlushBatch:
+        order = list(slot_lists)
+        counts = [len(slot_lists[s]) for s in order]
+        total = sum(counts)
+        w = self.pool.width
+        slots = np.empty(total, dtype=np.int64)
+        times = np.empty(total)
+        K = np.zeros((total, w))
+        W = np.zeros((total, w))
+        LB = np.zeros((total, w))
+        UB = np.zeros((total, w))
+        D = np.zeros((total, w), dtype=bool)
+        CK = np.zeros((total, w))
+        CD = np.zeros((total, w), dtype=bool)
+        slot_rows: dict[int, tuple[int, int]] = {}
+        lo = 0
+        for slot, cnt in zip(order, counts):
+            hi = lo + cnt
+            slots[lo:hi] = slot
+            slot_rows[slot] = (lo, hi)
+            flat_lo[slot] = lo
+            meta = slot_meta[slot]
+            ctx = slot_session[slot].handle_ctx
+            rows = slot_lists[slot]
+            m = meta.n_nodes
+            cols = meta.node_ids
+            if hasattr(ctx, "observation_index"):
+                run = ctx.run
+                r = np.asarray(rows)
+                sel = np.ix_(r, cols)
+                times[lo:hi] = run.times[r]
+                K[lo:hi, :m] = run.K[sel]
+                W[lo:hi, :m] = run.W[sel]
+                LB[lo:hi, :m] = run.LB[sel]
+                UB[lo:hi, :m] = run.UB[sel]
+                D[lo:hi, :m] = run.D[sel]
+                if len(meta.mat_idx):
+                    csel = np.ix_(r, meta.mat_child_ids)
+                    CK[lo:hi, meta.mat_idx] = run.K[csel]
+                    CD[lo:hi, meta.mat_idx] = run.D[csel]
+            else:
+                log = ctx.log
+                rws = [log.row(i) for i in rows]
+                times[lo:hi] = [rw.time for rw in rws]
+                K[lo:hi, :m] = np.stack([rw.K for rw in rws])[:, cols]
+                W[lo:hi, :m] = np.stack([rw.W for rw in rws])[:, cols]
+                LB[lo:hi, :m] = np.stack([rw.LB for rw in rws])[:, cols]
+                UB[lo:hi, :m] = np.stack([rw.UB for rw in rws])[:, cols]
+                stacked_d = np.stack([rw.D for rw in rws])
+                D[lo:hi, :m] = stacked_d[:, cols]
+                if len(meta.mat_idx):
+                    stacked_k = np.stack([rw.K for rw in rws])
+                    CK[lo:hi, meta.mat_idx] = stacked_k[:, meta.mat_child_ids]
+                    CD[lo:hi, meta.mat_idx] = stacked_d[:, meta.mat_child_ids]
+            lo = hi
+        ordinals = []
+        for s_i in range(max(counts)):
+            ordinals.append(np.array(
+                [slot_rows[s][0] + s_i
+                 for s, c in zip(order, counts) if c > s_i],
+                dtype=np.int64))
+        return FlushBatch(self.pool, slots, times, K, W, LB, UB, D, CK, CD,
+                          slot_rows, ordinals)

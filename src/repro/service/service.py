@@ -8,22 +8,35 @@ same per-query :class:`~repro.core.monitor.ProgressReport` streams a solo
 :class:`~repro.core.monitor.ProgressMonitor` would — bit-identical, which
 the service test suite verifies — while scoring estimator selection for
 *all* sessions in one batched pass per tick
-(:mod:`repro.service.scoring`).
+(:mod:`repro.service.scoring`) and, when every estimator in the pool has
+a native structure-of-arrays kernel, advancing *all* sessions' streaming
+states in one NumPy pass per estimator kind per tick
+(:mod:`repro.service.batched`).
 
 A tick is one scheduler round:
 
 1. admission — pending sessions are started while live slots are free;
 2. execution — every live session runs for ``slice_steps`` engine steps;
    observation callbacks fire inside the steps and queue causal report
-   drafts on their session;
-3. flush — pending estimator selections of all sessions are deduplicated
-   (first observation wins, exactly like the solo monitor), scored in one
-   batch per selector kind, committed into each session's state, and the
-   queued drafts are finalized into reports in capture order.
+   drafts (scalar path) or due report rows (vectorized path) on their
+   session;
+3. flush — pending estimator selections of this round's sessions are
+   deduplicated (first observation wins, exactly like the solo monitor),
+   scored in one batch per selector kind, committed into each session's
+   state, and the queued drafts are finalized into reports in capture
+   order.
+
+The service tracks sessions in three index structures so per-tick cost
+scales with *live* sessions, not with every session ever submitted:
+``sessions`` (all, for id lookup), ``_pending`` (submitted, not yet
+admitted, FIFO) and ``_live`` (admitted and running, submission order).
+Completed sessions leave ``_live`` the tick they finish and are never
+scanned again.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -33,6 +46,7 @@ from repro.engine.clock import CostModel
 from repro.engine.executor import ExecutorConfig, QueryExecutor
 from repro.engine.run import QueryRun
 from repro.plan.nodes import PlanNode
+from repro.service.batched import VectorizedFlush
 from repro.service.scheduler import RoundRobinScheduler
 from repro.service.scoring import BatchedSelectorScorer
 from repro.service.session import QuerySession, SessionStatus
@@ -41,13 +55,22 @@ from repro.trace.replay import ReplayExecutor
 
 @dataclass
 class ServiceStats:
-    """Cumulative work accounting across ticks."""
+    """Cumulative work accounting across ticks.
+
+    Invariants (asserted by the test suite): once the service drains,
+    ``sessions_completed == sessions_submitted``; ``ticks``, ``steps``
+    and ``reports`` only ever grow; ``sessions_scanned`` grows by the
+    number of *live* sessions per tick — flat as completed sessions
+    accumulate, which is the regression guard for the session indices.
+    """
 
     ticks: int = 0
     steps: int = 0
     reports: int = 0
     sessions_submitted: int = 0
     sessions_completed: int = 0
+    #: sum over ticks of live sessions scanned that tick
+    sessions_scanned: int = 0
 
     @property
     def reports_per_tick(self) -> float:
@@ -72,12 +95,20 @@ class ProgressService:
     on_report:
         Called as ``on_report(session, report)`` for every finalized
         report, in per-session capture order.
+    vectorized:
+        Advance all sessions' streaming states through the
+        structure-of-arrays fast path (default).  Engages only when the
+        monitor is incremental and every estimator in its pool has a
+        native SoA kernel; otherwise the service silently keeps the
+        scalar per-session flush.  ``False`` forces the scalar path —
+        the parity oracle the fuzz suite compares against.
     """
 
     def __init__(self, monitor: ProgressMonitor, slice_steps: int = 8,
                  max_live: int | None = None,
                  on_report: Callable[[QuerySession, ProgressReport], None]
-                 | None = None):
+                 | None = None,
+                 vectorized: bool = True):
         self.monitor = monitor
         self.scheduler = RoundRobinScheduler(slice_steps)
         self.scorer = BatchedSelectorScorer(monitor.static_selector,
@@ -87,7 +118,16 @@ class ProgressService:
         self.max_live = max_live
         self.on_report = on_report
         self.sessions: list[QuerySession] = []
+        self._pending: deque[QuerySession] = deque()
+        self._live: list[QuerySession] = []
+        self._live_set: set[int] = set()
+        self._vector = VectorizedFlush.create(monitor) if vectorized else None
         self.stats = ServiceStats()
+
+    @property
+    def vectorized(self) -> bool:
+        """True when the SoA fast path is driving this service's flushes."""
+        return self._vector is not None
 
     # -- submission ----------------------------------------------------------
 
@@ -97,8 +137,10 @@ class ProgressService:
         """Register a query for execution; returns its session id."""
         executor = QueryExecutor(db, config=config, cost_model=cost_model)
         session = QuerySession(len(self.sessions), executor, plan,
-                               query_name, self.monitor)
+                               query_name, self.monitor,
+                               deferred=self._vector is not None)
         self.sessions.append(session)
+        self._pending.append(session)
         self.stats.sessions_submitted += 1
         return session.session_id
 
@@ -115,8 +157,10 @@ class ProgressService:
         """
         executor = ReplayExecutor(run)
         session = QuerySession(len(self.sessions), executor, None,
-                               query_name or run.query_name, self.monitor)
+                               query_name or run.query_name, self.monitor,
+                               deferred=self._vector is not None)
         self.sessions.append(session)
+        self._pending.append(session)
         self.stats.sessions_submitted += 1
         return session.session_id
 
@@ -128,7 +172,7 @@ class ProgressService:
     @property
     def active(self) -> bool:
         """True while any session still has work to do."""
-        return any(s.status is not SessionStatus.DONE for s in self.sessions)
+        return bool(self._pending or self._live)
 
     def tick(self) -> bool:
         """One scheduler round (admission, slices, batched flush).
@@ -136,15 +180,22 @@ class ProgressService:
         Returns True while work remains.
         """
         self._admit()
-        round_sessions = self.scheduler.plan_round(self.sessions)
+        round_sessions = self.scheduler.plan_round(self._live)
+        self.stats.sessions_scanned += len(self._live)
         for session in round_sessions:
             used = self.scheduler.run_slice(session)
             self.stats.steps += used
             if session.done:
-                self.stats.sessions_completed += 1
+                self._retire(session)
         if round_sessions:
             self.stats.ticks += 1
-        self._flush()
+        self._flush(round_sessions)
+        if self._vector is not None:
+            # slots are freed only after the retiring sessions' final
+            # drafts have flushed through them
+            for session in round_sessions:
+                if session.done:
+                    self._vector.release_session(session)
         return self.active
 
     def run_until_complete(self, max_ticks: int | None = None
@@ -162,21 +213,42 @@ class ProgressService:
     # -- internals -----------------------------------------------------------
 
     def _admit(self) -> None:
-        live = sum(s.status is SessionStatus.RUNNING for s in self.sessions)
-        for session in self.sessions:
-            if self.max_live is not None and live >= self.max_live:
+        while self._pending:
+            if self.max_live is not None and len(self._live) >= self.max_live:
                 break
-            if session.status is SessionStatus.PENDING:
-                session.start()
-                live += 1
+            session = self._pending.popleft()
+            session.start()
+            self._live.append(session)
+            self._live_set.add(session.session_id)
 
-    def _flush(self) -> None:
-        """Batch-resolve pending selections, then finalize queued drafts."""
+    def _retire(self, session: QuerySession) -> None:
+        """Move a finished session out of the live index, exactly once."""
+        if session.session_id in self._live_set:
+            self._live_set.discard(session.session_id)
+            self._live.remove(session)
+            self.stats.sessions_completed += 1
+
+    def _flush(self, round_sessions: list[QuerySession]) -> None:
+        """Batch-resolve pending selections, then finalize queued drafts.
+
+        Only this round's sessions can hold unflushed work (every flush
+        drains completely), so the scan is bounded by the round — not by
+        the total ever submitted.  Sessions are flushed in submission
+        order, undoing the scheduler's rotation, to keep report emission
+        order identical to the historical full-list scan.
+        """
+        drafted = sorted(
+            (s for s in round_sessions if s.drafts or s.pending_reports),
+            key=lambda s: s.session_id)
+        if not drafted:
+            return
+        if self._vector is not None:
+            self._vector.flush(drafted, self.scorer, self.stats,
+                               self.on_report)
+            return
         requests: list[tuple[str, object]] = []
         targets: list[tuple[QuerySession, int, str]] = []
-        for session in self.sessions:
-            if not session.drafts:
-                continue
+        for session in drafted:
             seen: set[tuple[int, str]] = set()
             for draft in session.drafts:
                 for snap in draft.pending_selections(session.state):
@@ -192,7 +264,7 @@ class ProgressService:
                 made = (session.state.dynamic_choices if kind == DYNAMIC
                         else session.state.static_choices)
                 made[pid] = name
-        for session in self.sessions:
+        for session in drafted:
             while session.drafts:
                 draft = session.drafts.popleft()
                 report = self.monitor.finalize(draft, session.state)

@@ -10,6 +10,17 @@ and the finalized :class:`~repro.core.monitor.ProgressReport` stream.
 Sessions are passive: the :class:`~repro.service.service.ProgressService`
 steps their handles, batches their pending estimator selections, and
 finalizes their drafts.
+
+Capture comes in two flavours.  In the default (scalar) mode the
+observation callback snapshots a full :class:`ReportDraft` per due report,
+exactly like the solo monitor.  In *deferred* mode — enabled by the
+service when its vectorized flush owns report production — the callback
+only records which observation rows are due (``pending_reports``; for
+live executions also a copy of the pipeline-start vector, the one causal
+input that later rows cannot reconstruct); the flush rebuilds the drafts
+from those rows.  Deferred replay sessions additionally support *bulk*
+stepping: a whole time slice advances in one seek, with the due report
+rows derived arithmetically, skipping per-observation callbacks entirely.
 """
 
 from __future__ import annotations
@@ -43,13 +54,20 @@ class QuerySession:
     """
 
     def __init__(self, session_id: int, executor: "QueryExecutor | object",
-                 plan, query_name: str, monitor: ProgressMonitor):
+                 plan, query_name: str, monitor: ProgressMonitor,
+                 deferred: bool = False):
         self.session_id = session_id
         self.query_name = query_name
         self.status = SessionStatus.PENDING
         self.state = MonitorState()
         self.reports: list[ProgressReport] = []
         self.drafts: deque[ReportDraft] = deque()
+        #: deferred capture: observation-log row index per due report
+        self.pending_reports: list[int] = []
+        #: deferred live capture: pipe_first copy per due report (the only
+        #: mutable causal input the log row itself does not record)
+        self.pending_starts: list = []
+        self.deferred = deferred
         self.steps = 0
         self._monitor = monitor
         self._executor = executor
@@ -64,7 +82,8 @@ class QuerySession:
         self.status = SessionStatus.RUNNING
         # Binding on_observation per-session: the executor instance is owned
         # by this session, so the callback can close over its state.
-        self._executor.on_observation = self._observe
+        self._executor.on_observation = (
+            self._observe_deferred if self.deferred else self._observe)
         self._handle = self._executor.begin(self._plan, self.query_name)
 
     def step(self) -> bool:
@@ -77,6 +96,40 @@ class QuerySession:
         return more
 
     @property
+    def can_bulk(self) -> bool:
+        """True when a slice can advance without per-observation callbacks
+        (deferred capture over a seekable replay handle)."""
+        return self.deferred and hasattr(self._handle, "skip")
+
+    def step_bulk(self, k: int) -> int:
+        """Advance up to ``k`` replay steps in one seek; steps used.
+
+        Mirrors ``k`` iterations of :meth:`step` under deferred capture:
+        the tick counter advances per skipped observation and the due
+        report rows (every ``refresh_every``-th tick) are derived from
+        the tick arithmetic instead of callbacks.  Relies on the replay
+        invariant ``ticks == observation_index + 1`` (every observation,
+        including the t=0 emit, bumps the counter exactly once).
+        """
+        assert self._handle is not None
+        ctx = self._handle.ctx
+        index = ctx.observation_index
+        take = self._handle.skip(k)
+        if take:
+            self.steps += take
+            ticks = self.state.ticks
+            self.state.ticks = ticks + take
+            refresh = self._monitor.refresh_every
+            first = (ticks // refresh + 1) * refresh
+            for t in range(first, ticks + take + 1, refresh):
+                self.pending_reports.append(index + (t - ticks))
+        used = take
+        if take < k:
+            self.step()  # the terminal transition past the last observation
+            used += 1
+        return used
+
+    @property
     def done(self) -> bool:
         return self.status is SessionStatus.DONE
 
@@ -84,6 +137,12 @@ class QuerySession:
     def result(self) -> QueryRun:
         assert self._handle is not None
         return self._handle.result
+
+    @property
+    def handle_ctx(self):
+        """The execution/replay context (flush-side accessor)."""
+        assert self._handle is not None
+        return self._handle.ctx
 
     # -- observation capture -------------------------------------------------
 
@@ -99,3 +158,15 @@ class QuerySession:
         if self.state.ticks % self._monitor.refresh_every:
             return
         self.drafts.append(self._monitor.snapshot(ctx, self.state))
+
+    def _observe_deferred(self, ctx) -> None:
+        """Deferred capture: record only *which* row is due a report."""
+        self.state.ticks += 1
+        if self.state.ticks % self._monitor.refresh_every:
+            return
+        index = getattr(ctx, "observation_index", None)
+        if index is None:  # live execution: the row just logged
+            self.pending_reports.append(len(ctx.log) - 1)
+            self.pending_starts.append(ctx.pipe_first.copy())
+        else:  # replay: the row the context sits on
+            self.pending_reports.append(index)

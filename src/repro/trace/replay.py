@@ -237,6 +237,22 @@ class ReplayHandle:
         self._run = self.ctx.run
         return False
 
+    def skip(self, k: int) -> int:
+        """Advance up to ``k`` observations without firing callbacks.
+
+        The bulk-stepping primitive of the service's vectorized path: the
+        deferred capture there reconstructs report rows from the recording
+        directly, so per-observation emission is pure overhead.  Returns
+        the number of observations actually advanced (the terminal
+        transition past the last observation still requires :meth:`step`).
+        """
+        if self._run is not None or k <= 0:
+            return 0
+        take = min(k, self.ctx.n_observations - 1 - self.ctx.observation_index)
+        if take > 0:
+            self.ctx.seek(self.ctx.observation_index + take)
+        return take
+
     def run_to_completion(self) -> QueryRun:
         while self.step():
             pass

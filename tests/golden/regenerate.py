@@ -55,14 +55,15 @@ EXECUTOR = dict(batch_size=256, memory_budget_bytes=float(64 << 10),
 MIN_OBSERVATIONS = 4
 
 
-def record_family(suite: WorkloadSuite, family: str, workload: str) -> None:
+def record_family(suite: WorkloadSuite, family: str, workload: str,
+                  out_dir: Path = GOLDEN_DIR) -> None:
     bundle = suite.bundle(workload)
     runs = []
     for i, query in enumerate(bundle.queries):
         config = ExecutorConfig(**EXECUTOR, seed=SEED * 1_000 + i)
         executor = QueryExecutor(bundle.db, config)
         runs.append(executor.execute(bundle.planner.plan(query), query.name))
-    write_trace(GOLDEN_DIR / family, runs, meta={
+    write_trace(out_dir / family, runs, meta={
         "family": family,
         "workload": workload,
         "seed": SEED,
@@ -90,7 +91,7 @@ def record_family(suite: WorkloadSuite, family: str, workload: str) -> None:
     expected["X"] = data.X
     expected["errors_l1"] = data.errors_l1
     expected["errors_l2"] = data.errors_l2
-    np.savez_compressed(GOLDEN_DIR / f"expected_{family}.npz", **expected)
+    np.savez_compressed(out_dir / f"expected_{family}.npz", **expected)
     print(f"{family:6s} <- {workload:13s}  runs={len(runs)}  "
           f"pipelines={len(pipelines)}  "
           f"observations={[len(r.times) for r in runs]}")
@@ -105,6 +106,11 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--all", action="store_true", dest="all_families",
                         help="regenerate every family (explicit form of "
                              "the no-argument default)")
+    parser.add_argument("--out-dir", type=Path, default=GOLDEN_DIR,
+                        help="write traces and expectation files here "
+                             "instead of the committed golden directory "
+                             "(used by the staleness check to regenerate "
+                             "into a scratch dir and diff)")
     args = parser.parse_args(argv)
     unknown = [f for f in args.families if f not in FAMILIES]
     if unknown:
@@ -112,9 +118,10 @@ def main(argv: list[str] | None = None) -> None:
                      f"{list(FAMILIES)}")
     wanted = list(FAMILIES) if (args.all_families or not args.families) \
         else list(dict.fromkeys(args.families))
+    args.out_dir.mkdir(parents=True, exist_ok=True)
     suite = WorkloadSuite(SCALE, seed=SEED)
     for family in wanted:
-        record_family(suite, family, FAMILIES[family])
+        record_family(suite, family, FAMILIES[family], out_dir=args.out_dir)
 
 
 if __name__ == "__main__":

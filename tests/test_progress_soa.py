@@ -1,0 +1,377 @@
+"""SoA batch kernels vs the scalar streaming states (bit parity).
+
+:mod:`repro.progress.soa` re-lays the per-pipeline streaming states out
+as structure-of-arrays batches; the contract is that ``advance`` over a
+:class:`FlushBatch` row equals the scalar ``estimator.advance(state,
+tick)`` on the identical tick inputs *bit-for-bit* — including rows long
+enough to hit numpy's pairwise-sum unrolling, the stateful LUO ring
+(pops, compaction, unpack round-trip) and the pool's slot recycling.
+The end-to-end report-stream parity of the service built on these
+kernels is gated separately by tests/test_service.py and the fuzz
+oracle's ``service`` layer; this module pins the kernels in isolation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.engine.run import PipelineRun
+from repro.plan.nodes import Op
+from repro.progress.batchdne import BatchDNEEstimator
+from repro.progress.dne import DNEEstimator
+from repro.progress.dneseek import DNESeekEstimator
+from repro.progress.gold import BytesProcessedOracle, GetNextOracle
+from repro.progress.luo import LuoEstimator
+from repro.progress.refined_tgn import RefinedTGNEstimator
+from repro.progress.safe_pmax import PMaxEstimator, SafeEstimator
+from repro.progress.soa import (
+    _PAIRWISE_UNROLL,
+    BatchedLuoState,
+    FlushBatch,
+    SoAPool,
+    batched_states,
+)
+from repro.progress.streaming import (
+    ObsTick,
+    PipelineMeta,
+    tick_driver_consumed,
+    tick_driver_fraction,
+    tick_known_totals,
+)
+from repro.progress.tgn import TGNEstimator
+from repro.progress.tgnint import TGNIntEstimator
+
+from helpers import linear_two_node_run, make_pipeline_run
+from strategies import random_pipeline
+
+NATIVE_ESTIMATORS = [
+    DNEEstimator(), BatchDNEEstimator(), DNESeekEstimator(),
+    TGNEstimator(), TGNIntEstimator(), RefinedTGNEstimator(),
+    PMaxEstimator(), SafeEstimator(),
+    GetNextOracle(), BytesProcessedOracle(), LuoEstimator(),
+]
+
+
+def batch_from_runs(pool, prs, metas=None):
+    """Pack completed pipeline runs and lay their ticks out as one flush.
+
+    Mirrors the service's ``_gather``: rows grouped per slot in tick
+    order, zero-padded to the pool width, per-node done flags raised
+    where the counter has reached the (known) final value.
+    """
+    metas = metas or [PipelineMeta.from_pipeline_run(pr) for pr in prs]
+    slots = [pool.pack(meta) for meta in metas]
+    total = sum(pr.n_observations for pr in prs)
+    w = pool.width
+    times = np.zeros(total)
+    arrays = {n: np.zeros((total, w)) for n in ("K", "W", "LB", "UB")}
+    D = np.zeros((total, w), dtype=bool)
+    CK = np.zeros((total, w))
+    CD = np.zeros((total, w), dtype=bool)
+    slot_rows, lo = {}, 0
+    for pr, slot in zip(prs, slots):
+        T, m = pr.K.shape
+        hi = lo + T
+        times[lo:hi] = pr.times
+        for name in arrays:
+            arrays[name][lo:hi, :m] = getattr(pr, name)
+        D[lo:hi, :m] = pr.K >= pr.N[None, :]
+        slot_rows[slot] = (lo, hi)
+        lo = hi
+    depth = max(pr.n_observations for pr in prs)
+    ordinals = [np.array([slot_rows[s][0] + t for pr, s in zip(prs, slots)
+                          if t < pr.n_observations], dtype=np.int64)
+                for t in range(depth)]
+    batch = FlushBatch(pool, np.repeat(slots, [pr.n_observations
+                                               for pr in prs]),
+                       times, arrays["K"], arrays["W"], arrays["LB"],
+                       arrays["UB"], D, CK, CD, slot_rows, ordinals)
+    return batch, slots, metas
+
+
+def scalar_trajectory(est, meta, batch, slot):
+    """Reference: the scalar streaming state over the batch's own rows."""
+    lo, hi = batch.slot_rows[slot]
+    m = meta.n_nodes
+    state = est.begin(meta)
+    out = np.zeros(hi - lo)
+    for r in range(lo, hi):
+        tick = ObsTick(time=float(batch.times[r]), K=batch.K[r, :m],
+                       R=np.zeros(m), W=batch.W[r, :m],
+                       LB=batch.LB[r, :m], UB=batch.UB[r, :m],
+                       N=batch.N[r, :m])
+        out[r - lo] = est.advance(state, tick)
+    return out, state
+
+
+def assert_kernels_match(prs, estimators=None):
+    pool = SoAPool()
+    batch, slots, metas = batch_from_runs(pool, prs)
+    for est in estimators or NATIVE_ESTIMATORS:
+        states = batched_states({est.name: est}, pool)
+        assert states is not None, est.name
+        st = states[est.name]
+        for slot in slots:
+            st.pack(slot)
+        if st.stateful:
+            vector = st.advance(batch)
+        else:
+            vector = st.advance(batch)
+        for pr, slot, meta in zip(prs, slots, metas):
+            lo, hi = batch.slot_rows[slot]
+            scalar, _ = scalar_trajectory(est, meta, batch, slot)
+            assert np.array_equal(vector[lo:hi], scalar), (
+                f"{est.name}: max |delta| = "
+                f"{np.abs(vector[lo:hi] - scalar).max():.3e}")
+
+
+def test_kernels_match_scalar_on_executed_pipelines(join_run, scan_run):
+    prs = (join_run.pipeline_runs(min_observations=5)
+           + scan_run.pipeline_runs(min_observations=5))
+    assert prs
+    assert_kernels_match(prs)
+
+
+def test_kernels_match_scalar_on_synthetic_chain():
+    assert_kernels_match([linear_two_node_run(n_obs=21)])
+
+
+def test_kernels_match_scalar_past_pairwise_unroll():
+    """Rows whose selection reaches numpy's pairwise-sum threshold go
+    through the compacted-re-sum fixup and still match bitwise."""
+    m = _PAIRWISE_UNROLL + 3
+    T = 13
+    rng = np.random.default_rng(7)
+    K = np.cumsum(rng.uniform(0.0, 9.0, size=(T, m)), axis=0)
+    K += rng.uniform(0.1, 0.9, size=m)[None, :]  # irrational-ish sums
+    pr = make_pipeline_run([Op.FILTER] * (m - 1) + [Op.INDEX_SCAN], K,
+                           drivers=[m - 1, m - 2],
+                           table_rows=np.r_[np.full(m - 1, np.nan),
+                                            K[-1, -1]])
+    pool = SoAPool()
+    batch, (slot,), _ = batch_from_runs(pool, [pr])
+    assert slot in pool.big["valid"], "fixture must exercise the fixup"
+    assert_kernels_match([pr])
+
+
+def test_mixed_width_flush_matches_scalar():
+    """One flush over pipelines of different widths (zero-padded rows)."""
+    wide = _PAIRWISE_UNROLL + 1
+    K = np.cumsum(np.ones((9, wide)), axis=0) * np.arange(1, wide + 1)
+    prs = [linear_two_node_run(n_obs=7),
+           make_pipeline_run([Op.FILTER] * (wide - 1) + [Op.TABLE_SCAN], K,
+                             table_rows=np.r_[np.full(wide - 1, np.nan),
+                                              K[-1, -1]]),
+           linear_two_node_run(n_obs=12, total=40.0)]
+    assert_kernels_match(prs)
+
+
+def test_batch_n_applies_mat_child_override():
+    """A blocked source whose out-of-pipeline build finished reports the
+    build child's counter as its total (the ``_capture_tick`` N rule)."""
+    pr = linear_two_node_run(n_obs=5)
+    meta = PipelineMeta.from_pipeline_run(pr)
+    meta.mat_idx = np.array([1], dtype=np.int64)
+    meta.mat_child_ids = np.array([9], dtype=np.int64)
+    pool = SoAPool()
+    batch, (slot,), _ = batch_from_runs(pool, [pr], metas=[meta])
+    lo, hi = batch.slot_rows[slot]
+    batch.D[:, :] = False
+    batch.CD[lo + 2:hi, 1] = True
+    batch.CK[lo + 2:hi, 1] = 37.0
+    N = batch.N
+    assert np.array_equal(N[lo:lo + 2, 1], meta.E0[[1, 1]])
+    assert np.array_equal(N[lo + 2:hi, 1], np.full(hi - lo - 2, 37.0))
+    assert np.array_equal(N[lo:hi, 0], np.full(hi - lo, meta.E0[0]))
+
+
+def test_luo_ring_matches_deque_and_unpacks():
+    """The LUO ring (pops + compaction) mirrors the scalar deque state."""
+    est = LuoEstimator(speed_window=5.0)
+    prs = [linear_two_node_run(n_obs=51),      # 2s spacing: many pops
+           linear_two_node_run(n_obs=26, total=60.0)]
+    pool = SoAPool()
+    batch, slots, metas = batch_from_runs(pool, prs)
+    st = BatchedLuoState(est, pool)
+    for slot in slots:
+        st.pack(slot)
+    vector = st.advance(batch)
+    for pr, slot, meta in zip(prs, slots, metas):
+        lo, hi = batch.slot_rows[slot]
+        scalar, state = scalar_trajectory(est, meta, batch, slot)
+        assert np.array_equal(vector[lo:hi], scalar)
+        # ring compaction must have triggered (51 appends into cap 8)
+        rebuilt = st.unpack(slot)
+        assert list(rebuilt.window) == list(state.window)
+    # 51 appends through a ring of 8 columns: compaction must have run
+    # (the write cursor is monotone between compactions)
+    assert st.wpos[slots[0]] < prs[0].n_observations
+
+
+def test_luo_row_mask_freezes_masked_slots():
+    est = LuoEstimator(speed_window=5.0)
+    prs = [linear_two_node_run(n_obs=9), linear_two_node_run(n_obs=9)]
+    pool = SoAPool()
+    batch, slots, metas = batch_from_runs(pool, prs)
+    st = BatchedLuoState(est, pool)
+    for slot in slots:
+        st.pack(slot)
+    mask = np.zeros(len(batch), dtype=bool)
+    lo, hi = batch.slot_rows[slots[0]]
+    mask[lo:hi] = True
+    vector = st.advance(batch, row_mask=mask)
+    scalar, _ = scalar_trajectory(est, metas[0], batch, slots[0])
+    assert np.array_equal(vector[lo:hi], scalar)
+    # the masked slot's ring never advanced and its rows stayed zero
+    assert st.wpos[slots[1]] == 0
+    mlo, mhi = batch.slot_rows[slots[1]]
+    assert not vector[mlo:mhi].any()
+
+
+def test_pool_pack_release_grow_and_widen():
+    pool = SoAPool(capacity=2, width=2)
+    pr = linear_two_node_run(n_obs=5)
+    meta = PipelineMeta.from_pipeline_run(pr)
+    a, b = pool.pack(meta), pool.pack(meta)
+    assert pool.n_live == 2
+    c = pool.pack(meta)  # forces capacity doubling
+    assert pool.capacity == 4 and pool.n_live == 3
+    pool.release(b)
+    assert pool.n_live == 2 and pool.metas[b] is None
+    assert pool.pack(meta) == b  # freed slots are recycled
+    m = 5
+    wide = make_pipeline_run([Op.FILTER] * (m - 1) + [Op.TABLE_SCAN],
+                             np.cumsum(np.ones((4, m)), axis=0),
+                             table_rows=np.r_[np.full(m - 1, np.nan), 4.0])
+    d = pool.pack(PipelineMeta.from_pipeline_run(wide))
+    assert pool.width >= m
+    assert np.array_equal(pool.E0[a, :2], meta.E0)  # survivors intact
+    assert not pool.sel["valid"][a, 2:].any()       # padding stays off
+    assert pool.sel["valid"][d, :m].all()
+    assert a != b != c != d
+
+
+# -- tick-helper mirrors (properties + edge cases) ---------------------------
+
+
+def _empty_run():
+    """A pipeline that never produced an observation row."""
+    base = linear_two_node_run(n_obs=3)
+    z = np.zeros((0, base.n_nodes))
+    return PipelineRun(
+        pid=0, query_name="empty", db_name="synthetic",
+        times=np.zeros(0), t_start=0.0, t_end=0.0,
+        K=z, R=z.copy(), W=z.copy(), LB=z.copy(), UB=z.copy(),
+        E0=base.E0, N=base.N, widths=base.widths,
+        table_rows=base.table_rows, ops=base.ops,
+        driver_mask=base.driver_mask, parent_local=base.parent_local,
+        node_ids=base.node_ids, materialized_bytes_est=0.0)
+
+
+@given(random_pipeline())
+@settings(max_examples=60, deadline=None)
+def test_tick_helpers_match_batch_mirrors(pr):
+    """`FlushBatch` derived rows are the per-tick helpers, row for row:
+    ``totals`` mirrors :func:`tick_known_totals`, the driver sums mirror
+    :func:`tick_driver_consumed` (plain and widened masks), and
+    ``driver_value`` mirrors :func:`tick_driver_fraction`."""
+    meta = PipelineMeta.from_pipeline_run(pr)
+    pool = SoAPool()
+    batch, (slot,), _ = batch_from_runs(pool, [pr], metas=[meta])
+    lo, hi = batch.slot_rows[slot]
+    m = meta.n_nodes
+    widened = np.array([op == Op.BATCH_SORT for op in meta.ops])
+    totals = batch.totals
+    consumed = batch.sums("driver", "K")
+    denom = batch.sums("driver", "totals")
+    consumed_w = batch.sums("bdrv", "K")
+    denom_w = batch.sums("bdrv", "totals")
+    fraction = batch.driver_value("driver")
+    for r in range(lo, hi):
+        tick = ObsTick(time=float(batch.times[r]), K=batch.K[r, :m],
+                       R=np.zeros(m), W=batch.W[r, :m],
+                       LB=batch.LB[r, :m], UB=batch.UB[r, :m],
+                       N=batch.N[r, :m])
+        assert np.array_equal(totals[r, :m], tick_known_totals(meta, tick))
+        c, d = tick_driver_consumed(meta, tick)
+        assert consumed[r] == c and denom[r] == d
+        cw, dw = tick_driver_consumed(meta, tick, extra_mask=widened)
+        assert consumed_w[r] == cw and denom_w[r] == dw
+        assert fraction[r] == tick_driver_fraction(meta, tick)
+
+
+def test_empty_pipeline_batches_to_zero_rows():
+    """A never-observed pipeline packs fine, records the 0.0 oracle-bytes
+    no-observation path, and every kernel advances an empty flush."""
+    pr = _empty_run()
+    meta = PipelineMeta.from_pipeline_run(pr)
+    assert meta.oracle_bytes_total == 0.0
+    pool = SoAPool()
+    batch, (slot,), _ = batch_from_runs(pool, [pr], metas=[meta])
+    assert len(batch) == 0
+    assert batch.slot_rows[slot] == (0, 0)
+    for est in NATIVE_ESTIMATORS:
+        st = batched_states({est.name: est}, pool)[est.name]
+        st.pack(slot)
+        out = st.advance(batch)
+        assert out.shape == (0,)
+
+
+def test_zero_denominator_pipeline_parity():
+    """All totals zero: fractions degrade to 0.0, no NaN/inf anywhere,
+    and batch == scalar on every kernel."""
+    K = np.zeros((6, 2))
+    pr = make_pipeline_run([Op.FILTER, Op.INDEX_SCAN], K,
+                           N=np.zeros(2), E0=np.zeros(2),
+                           LB=np.zeros((6, 2)), UB=np.zeros((6, 2)),
+                           table_rows=np.array([np.nan, 0.0]))
+    meta = PipelineMeta.from_pipeline_run(pr)
+    pool = SoAPool()
+    batch, (slot,), _ = batch_from_runs(pool, [pr], metas=[meta])
+    assert not batch.driver_value("driver").any()
+    for r in range(*batch.slot_rows[slot]):
+        tick = ObsTick(time=float(batch.times[r]), K=batch.K[r, :2],
+                       R=np.zeros(2), W=batch.W[r, :2], LB=batch.LB[r, :2],
+                       UB=batch.UB[r, :2], N=batch.N[r, :2])
+        assert tick_driver_fraction(meta, tick) == 0.0
+    assert_kernels_match([pr])
+
+
+def test_all_materialized_source_pipeline_parity():
+    """Every member is a blocking materialization: known totals follow
+    the per-tick N everywhere, and kernels stay bit-exact."""
+    ramp = np.linspace(0.0, 80.0, 9)
+    K = np.column_stack([ramp * 0.25, ramp])
+    pr = make_pipeline_run([Op.HASH_AGG, Op.SORT], K, drivers=[1])
+    meta = PipelineMeta.from_pipeline_run(pr)
+    assert len(meta.materialized_idx) == meta.n_nodes
+    pool = SoAPool()
+    batch, (slot,), _ = batch_from_runs(pool, [pr], metas=[meta])
+    assert np.array_equal(batch.totals[:, :2], batch.N[:, :2])
+    assert_kernels_match([pr])
+
+
+def test_bytes_oracle_zero_total_matches_scalar():
+    """A recorded-but-empty oracle total (0.0) is still 'has oracle':
+    the kernel must not fall back to the causal bytes-done total."""
+    pr = linear_two_node_run(n_obs=7)
+    meta = PipelineMeta.from_pipeline_run(pr)
+    meta.oracle_bytes_total = 0.0
+    est = BytesProcessedOracle()
+    pool = SoAPool()
+    batch, (slot,), _ = batch_from_runs(pool, [pr], metas=[meta])
+    st = batched_states({est.name: est}, pool)[est.name]
+    vector = st.advance(batch)
+    lo, hi = batch.slot_rows[slot]
+    scalar, _ = scalar_trajectory(est, meta, batch, slot)
+    assert np.array_equal(vector[lo:hi], scalar)
+
+
+def test_batched_states_requires_native_kernels():
+    class Tweaked(DNEEstimator):
+        name = "tweaked"
+
+    pool = SoAPool()
+    assert batched_states({"dne": DNEEstimator()}, pool) is not None
+    # a subclass may override behaviour the kernels cannot mirror
+    assert batched_states({"dne": DNEEstimator(),
+                           "tweaked": Tweaked()}, pool) is None

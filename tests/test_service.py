@@ -16,6 +16,7 @@ from repro.core.training import collect_training_data, train_selector
 from repro.engine.executor import ExecutorConfig, QueryExecutor
 from repro.features.vector import FeatureExtractor
 from repro.learning.mart import MARTParams
+from repro.progress.dne import DNEEstimator
 from repro.progress.registry import all_estimators
 from repro.query.logical import JoinEdge, QuerySpec
 from repro.query.predicates import FilterSpec
@@ -251,3 +252,117 @@ class TestBatchedScorer:
         results = service.run_until_complete(max_ticks=10_000)
         _, reports = results[0]
         assert [r for _, r in seen] == reports
+
+
+@pytest.fixture(scope="module")
+def replay_runs(tpch_db, tpch_planner, join_query):
+    """Recorded executions of the join fixture (replay-service inputs)."""
+    return [QueryExecutor(tpch_db, _config(seed)).execute(
+                tpch_planner.plan(join_query), query_name=f"seed{seed}")
+            for seed in SEEDS]
+
+
+class TestVectorizedFlush:
+    """The SoA fast path: engagement rules and scalar-flush parity.
+
+    The fuzz oracle's ``service`` layer sweeps the same parity over
+    randomized workloads; these are the deterministic fixture anchors.
+    """
+
+    def test_engages_only_for_native_incremental_pools(self, monitor):
+        assert ProgressService(monitor).vectorized
+        assert not ProgressService(monitor, vectorized=False).vectorized
+        # the batch (O(history)) monitor has no streaming states to batch
+        batch = ProgressMonitor(incremental=False)
+        assert not ProgressService(batch).vectorized
+        # a pool member without a native SoA kernel forces the scalar path
+
+        class Tweaked(DNEEstimator):
+            name = "tweaked"
+
+        custom = ProgressMonitor(estimators=all_estimators() + [Tweaked()])
+        assert not ProgressService(custom).vectorized
+
+    def test_replay_reports_match_scalar_flush(self, replay_runs, monitor):
+        def drive(vectorized):
+            service = ProgressService(monitor, slice_steps=5, max_live=3,
+                                      vectorized=vectorized)
+            for run in replay_runs:
+                service.submit_replay(run)
+            return service, service.run_until_complete(max_ticks=100_000)
+
+        vec_service, vec = drive(True)
+        sca_service, sca = drive(False)
+        assert vec_service.vectorized and not sca_service.vectorized
+        for sid in range(len(replay_runs)):
+            assert vec[sid][1], "replay sessions must produce reports"
+            assert vec[sid][1] == sca[sid][1]
+
+    def test_untrained_monitor_replay_parity(self, replay_runs):
+        plain = ProgressMonitor(refresh_every=2)
+
+        def drive(vectorized):
+            service = ProgressService(plain, slice_steps=3,
+                                      vectorized=vectorized)
+            for run in replay_runs:
+                service.submit_replay(run)
+            return service.run_until_complete(max_ticks=100_000)
+
+        vec, sca = drive(True), drive(False)
+        for sid in range(len(replay_runs)):
+            assert vec[sid][1] == sca[sid][1]
+
+
+class TestServiceAccounting:
+    """ServiceStats invariants and per-tick cost scaling (the session
+    index regression guards)."""
+
+    def test_drain_invariants(self, replay_runs, monitor):
+        service = ProgressService(monitor, slice_steps=4, max_live=2)
+        for run in replay_runs + replay_runs:
+            service.submit_replay(run)
+        prev = (0, 0, 0)
+        calls = 0
+        while True:
+            more = service.tick()
+            calls += 1
+            s = service.stats
+            now = (s.ticks, s.steps, s.reports)
+            assert all(a >= b for a, b in zip(now, prev)), "non-monotone"
+            prev = now
+            assert s.sessions_completed <= s.sessions_submitted
+            assert calls < 100_000
+            if not more:
+                break
+        s = service.stats
+        assert s.sessions_submitted == 2 * len(replay_runs)
+        assert s.sessions_completed == s.sessions_submitted
+        assert s.reports == sum(len(x.reports) for x in service.sessions)
+
+    def test_tick_cost_flat_as_sessions_complete(self, replay_runs, monitor):
+        """Completed sessions must drop out of the per-tick scan: with
+        admission capped at 1, every tick scans at most one session no
+        matter how many finished ones have accumulated."""
+        service = ProgressService(monitor, slice_steps=6, max_live=1)
+        for run in replay_runs + replay_runs:
+            service.submit_replay(run)
+        calls = 0
+        while service.tick():
+            calls += 1
+            assert service.stats.sessions_scanned <= calls + 1
+            assert calls < 100_000
+        assert service.stats.sessions_completed == 2 * len(replay_runs)
+        # a drained service ticks as a no-op
+        scanned = service.stats.sessions_scanned
+        assert service.tick() is False
+        assert service.stats.sessions_scanned == scanned
+
+    def test_resubmission_after_drain(self, replay_runs, monitor):
+        service = ProgressService(monitor, slice_steps=4)
+        service.submit_replay(replay_runs[0])
+        service.run_until_complete(max_ticks=100_000)
+        assert not service.active
+        service.submit_replay(replay_runs[1])
+        results = service.run_until_complete(max_ticks=100_000)
+        assert service.stats.sessions_completed == 2
+        assert results[1][1], "second wave produced reports"

@@ -93,6 +93,43 @@ class TestGoldenTrace:
                 assert f"p{i}_{est.name}" in names, (family, i, est.name)
 
 
+def test_committed_goldens_are_fresh(tmp_path):
+    """Regenerate the cheapest family into a scratch dir and diff it
+    against the committed files.
+
+    This is the staleness guard: an engine/estimator change that slipped
+    in without ``regenerate.py`` being re-run fails here even when every
+    replay-based assertion above still passes (e.g. a change that only
+    affects *recording*, not replay).  Byte-equality of ``manifest.json``
+    plus array-equality of the trace members and expectations pin the
+    whole regeneration pipeline.
+    """
+    import json
+
+    from golden.regenerate import main as regenerate
+
+    family = "fuzz"  # smallest scale, ~seconds to re-record
+    regenerate([family, "--out-dir", str(tmp_path)])
+
+    committed = json.loads(
+        (GOLDEN_DIR / family / "manifest.json").read_text())
+    fresh = json.loads((tmp_path / family / "manifest.json").read_text())
+    assert fresh == committed, (
+        f"regenerating the {family!r} golden family no longer reproduces "
+        f"the committed manifest; if the change is intentional, run "
+        f"PYTHONPATH=src python tests/golden/regenerate.py --all")
+    with np.load(GOLDEN_DIR / family / "runs.npz") as want, \
+            np.load(tmp_path / family / "runs.npz") as got:
+        assert set(got.files) == set(want.files)
+        for key in want.files:
+            assert np.array_equal(got[key], want[key]), (family, key)
+    with np.load(GOLDEN_DIR / f"expected_{family}.npz") as want, \
+            np.load(tmp_path / f"expected_{family}.npz") as got:
+        assert set(got.files) == set(want.files)
+        for key in want.files:
+            assert np.array_equal(got[key], want[key]), (family, key)
+
+
 @pytest.fixture(scope="module")
 def outer_semi_live():
     """Re-execute the committed ``outer_semi`` bundle live, monitored.
