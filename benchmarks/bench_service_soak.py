@@ -1,0 +1,267 @@
+"""Fleet soak: the sharded service under sustained multi-process load.
+
+The acceptance benchmark for :class:`ShardedProgressService`
+(:mod:`repro.service.sharded`): a soak of :data:`N_SESSIONS` concurrent
+synthetic replay sessions — a mixed workload of static TPC-H-shaped
+queries and ``adhoc_fuzz`` recordings — submitted in waves so admission,
+draining and retirement churn against each other the whole window.  Three
+contracts are locked:
+
+* **throughput scales** — the same soak at 4 process shards must move
+  >= :data:`REQUIRED_SPEEDUP` x more sessions/second than at 1 shard
+  (asserted when the host has the cores, like ``bench_parallel_execution``);
+* **latency holds under churn** — the p99 shard tick must stay within a
+  small multiple of the median: waves arriving while earlier waves drain
+  must not produce stall spikes;
+* **memory stays flat** — supervisor + worker RSS over the last third of
+  the soak window must not creep above the first third (sessions are
+  released at retirement; the soak would catch any leak in the
+  release/budget path).
+
+Results (including the per-shard tick timings the CI slow job folds into
+``BENCH_summary.json``) persist via ``save_result`` to
+``results/service_soak.{json,md}``.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.catalog.statistics import build_statistics
+from repro.core.monitor import ProgressMonitor
+from repro.datagen.tpch import generate_tpch
+from repro.engine.executor import ExecutorConfig, QueryExecutor
+from repro.experiments.results import format_table, save_result
+from repro.fuzz.generate import generate_fuzz_database, generate_fuzz_queries
+from repro.optimizer.planner import Planner
+from repro.query.logical import Aggregate, JoinEdge, QuerySpec
+from repro.runtime import available_cpus
+from repro.service import ShardedProgressService
+
+N_SESSIONS = 2048
+SHARD_COUNTS = (1, 4)
+REQUIRED_SPEEDUP = 1.8
+SLICE_STEPS = 8
+MAX_LIVE_PER_SHARD = 64
+WAVES = 8
+REFRESH_EVERY = 3
+
+#: p99 shard tick must stay within this multiple of the median (with an
+#: absolute floor so a microsecond-median machine doesn't flake)
+P99_MEDIAN_MULTIPLE = 25.0
+P99_FLOOR_SECONDS = 0.05
+#: last-third mean RSS may exceed the first-third mean by at most this
+RSS_GROWTH_FACTOR = 1.30
+RSS_GROWTH_SLACK = 48 << 20
+
+
+def _monitor_factory():
+    return ProgressMonitor(refresh_every=REFRESH_EVERY)
+
+
+def _static_queries():
+    """Two TPC-H-shaped anchors: a streaming join and a blocking rollup."""
+    streaming = QuerySpec(
+        name="soak_stream",
+        tables=["orders", "lineitem"],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        filters=[],
+    )
+    grouped = QuerySpec(
+        name="soak_grouped",
+        tables=["orders", "lineitem"],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        group_by=["o_custkey"],
+        aggregates=[Aggregate("sum", "l_extendedprice"), Aggregate("count")],
+    )
+    return [streaming, grouped]
+
+
+def _base_runs():
+    """The recorded runs the soak replays: 2 static + 4 adhoc_fuzz."""
+    runs = []
+    db = generate_tpch(lineitem_rows=2000, z=1.0, seed=42)
+    planner = Planner(db, build_statistics(db))
+    for query in _static_queries():
+        runs.append(QueryExecutor(db, ExecutorConfig(
+            batch_size=256, target_observations=48, seed=7,
+        )).execute(planner.plan(query), query.name))
+    for seed in (11, 12):
+        fdb, info = generate_fuzz_database(seed, rows=600)
+        fplanner = Planner(fdb, build_statistics(fdb))
+        for query in generate_fuzz_queries(info, 2, seed * 7919 + 2):
+            runs.append(QueryExecutor(fdb, ExecutorConfig(
+                batch_size=128, target_observations=48, seed=seed,
+            )).execute(fplanner.plan(query), query.name))
+    return runs
+
+
+def _rss_bytes(pids):
+    """Summed resident set of this process + the given pids (Linux)."""
+    total = 0
+    for pid in [os.getpid()] + list(pids):
+        try:
+            status = Path(f"/proc/{pid}/status").read_text()
+        except OSError:
+            continue
+        for line in status.splitlines():
+            if line.startswith("VmRSS:"):
+                total += int(line.split()[1]) << 10
+                break
+    return total
+
+
+def _soak(base_runs, n_shards):
+    """Drive one full soak; returns the per-fleet result dict."""
+    wave_size = N_SESSIONS // WAVES
+    low_watermark = wave_size // 2
+    service = ShardedProgressService(
+        _monitor_factory, n_shards=n_shards, slice_steps=SLICE_STEPS,
+        max_live=MAX_LIVE_PER_SHARD, processes=True, keep_reports=False)
+    rss_samples = []
+    submitted = 0
+    started = time.perf_counter()
+    try:
+        while submitted < N_SESSIONS or service.active:
+            in_flight = submitted - service.stats.service.sessions_completed
+            while submitted < N_SESSIONS and in_flight <= low_watermark:
+                # next wave lands while earlier waves are still draining:
+                # admission churns against retirement for the whole soak
+                for i in range(wave_size):
+                    run = base_runs[(submitted + i) % len(base_runs)]
+                    service.submit_replay(
+                        run, query_name=f"{run.query_name}#{submitted + i}")
+                submitted += wave_size
+                in_flight = (submitted
+                             - service.stats.service.sessions_completed)
+            service.tick()
+            if len(service.stats.round_seconds) % 8 == 0:
+                rss_samples.append(_rss_bytes(service.worker_pids))
+        wall = time.perf_counter() - started
+        fleet = service.stats
+        per_shard = [{
+            "shard": s.shard_id,
+            "ticks": s.service.ticks,
+            "steps": s.service.steps,
+            "reports": s.service.reports,
+            "sessions": s.service.sessions_completed,
+            "tick_p50_ms": round(1e3 * _pct(s.tick_seconds, 50), 4),
+            "tick_p99_ms": round(1e3 * _pct(s.tick_seconds, 99), 4),
+            "tick_seconds": round(sum(s.tick_seconds), 3),
+            "bytes_peak": s.bytes_peak,
+            "deferrals": s.deferrals,
+        } for s in fleet.shards]
+        return {
+            "n_shards": n_shards,
+            "sessions": submitted,
+            "completed": fleet.service.sessions_completed,
+            "reports": fleet.service.reports,
+            "steps": fleet.service.steps,
+            "wall_seconds": wall,
+            "sessions_per_second": submitted / wall,
+            "tick_p50_ms": 1e3 * fleet.tick_latency(50),
+            "tick_p99_ms": 1e3 * fleet.tick_latency(99),
+            "round_p99_ms": 1e3 * fleet.round_latency(99),
+            "rss_samples_mb": [round(b / 2**20, 1) for b in rss_samples],
+            "per_shard": per_shard,
+        }
+    finally:
+        service.close()
+
+
+def _pct(samples, q):
+    import numpy as np
+    return float(np.percentile(np.asarray(samples), q)) if samples else 0.0
+
+
+def _rss_flat(samples_mb):
+    """(first-third mean, last-third mean, flat?) over the soak window."""
+    third = max(len(samples_mb) // 3, 1)
+    head = sum(samples_mb[:third]) / third
+    tail = sum(samples_mb[-third:]) / len(samples_mb[-third:])
+    slack_mb = RSS_GROWTH_SLACK / 2**20
+    return head, tail, tail <= head * RSS_GROWTH_FACTOR + slack_mb
+
+
+def test_service_soak(benchmark):
+    base_runs = _base_runs()
+    results = {"sessions": N_SESSIONS, "waves": WAVES,
+               "base_runs": len(base_runs), "cpus": available_cpus(),
+               "max_live_per_shard": MAX_LIVE_PER_SHARD,
+               "slice_steps": SLICE_STEPS, "fleets": []}
+
+    def measure():
+        for n_shards in SHARD_COUNTS:
+            results["fleets"].append(_soak(base_runs, n_shards))
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    by_shards = {f["n_shards"]: f for f in results["fleets"]}
+    base, wide = by_shards[SHARD_COUNTS[0]], by_shards[SHARD_COUNTS[-1]]
+    speedup = (wide["sessions_per_second"] / base["sessions_per_second"])
+    head_mb, tail_mb, flat = _rss_flat(wide["rss_samples_mb"])
+    results.update(speedup=round(speedup, 3),
+                   rss_head_mb=round(head_mb, 1),
+                   rss_tail_mb=round(tail_mb, 1))
+
+    rows = []
+    for fleet in results["fleets"]:
+        rows.append([
+            str(fleet["n_shards"]),
+            f"{fleet['sessions_per_second']:.0f}",
+            f"{fleet['tick_p50_ms']:.2f}",
+            f"{fleet['tick_p99_ms']:.2f}",
+            f"{fleet['wall_seconds']:.2f}",
+            (f"{speedup:.2f}x"
+             if fleet["n_shards"] == SHARD_COUNTS[-1] else "—"),
+        ])
+    table = format_table(
+        ["shards", "sessions/sec", "tick p50 ms", "tick p99 ms",
+         "wall s", "speedup"],
+        rows,
+        title=(f"Fleet soak — {N_SESSIONS} sessions in {WAVES} waves over "
+               f"{len(base_runs)} recorded runs (static + adhoc_fuzz), "
+               f"max_live {MAX_LIVE_PER_SHARD}/shard, "
+               f"{results['cpus']} CPU(s); RSS {head_mb:.0f}→{tail_mb:.0f} "
+               f"MB over the {SHARD_COUNTS[-1]}-shard window"))
+    print("\n" + table)
+    save_result("service_soak", table, results)
+
+    # Acceptance 1: every session submitted in every fleet completed.
+    for fleet in results["fleets"]:
+        assert fleet["completed"] == fleet["sessions"] == N_SESSIONS, (
+            f"{fleet['n_shards']}-shard fleet drained "
+            f"{fleet['completed']}/{fleet['sessions']} sessions")
+        assert fleet["reports"] > 0
+
+    # Acceptance 2: p99 tick stays near the median under wave churn.  Only
+    # meaningful when each shard has a core: with the fleet oversubscribed
+    # the OS time-shares workers and tail ticks measure the scheduler.
+    for fleet in results["fleets"]:
+        if fleet["n_shards"] > results["cpus"] and not os.environ.get(
+                "REPRO_REQUIRE_SPEEDUP"):
+            print(f"only {results['cpus']} CPU(s) available: skipping the "
+                  f"p99 latency bound for the {fleet['n_shards']}-shard "
+                  f"fleet (oversubscribed)")
+            continue
+        p50, p99 = fleet["tick_p50_ms"] / 1e3, fleet["tick_p99_ms"] / 1e3
+        bound = max(P99_MEDIAN_MULTIPLE * p50, P99_FLOOR_SECONDS)
+        assert p99 <= bound, (
+            f"{fleet['n_shards']}-shard p99 tick {p99 * 1e3:.2f}ms blew "
+            f"past {bound * 1e3:.2f}ms (median {p50 * 1e3:.2f}ms)")
+
+    # Acceptance 3: RSS flat over the soak window (release/budget path).
+    assert flat, (
+        f"RSS grew {head_mb:.1f} -> {tail_mb:.1f} MB over the soak window")
+
+    # Acceptance 4: 1 -> 4 shards scales throughput (needs the cores).
+    if results["cpus"] < SHARD_COUNTS[-1] and not os.environ.get(
+            "REPRO_REQUIRE_SPEEDUP"):
+        print(f"only {results['cpus']} CPU(s) available: drain, latency and "
+              f"RSS verified, speedup assertion needs "
+              f">= {SHARD_COUNTS[-1]} cores")
+        return
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"sharding {SHARD_COUNTS[0]} -> {SHARD_COUNTS[-1]} sped the soak "
+        f"up only {speedup:.2f}x (need >= {REQUIRED_SPEEDUP}x)")

@@ -23,6 +23,36 @@ phase() {
   return "$rc"
 }
 
+phase_record() {
+  # Append an externally measured timing as its own phase row — for
+  # numbers produced *inside* a benchmark (e.g. the soak's per-shard
+  # tick totals from results/service_soak.json) that should ride along
+  # in BENCH_summary.json.  Accepts fractional seconds.
+  printf '%s\t%s\n' "$1" "$2" >> "$PHASES_FILE"
+}
+
+phase_record_soak_shards() {
+  # Fold the fleet-soak benchmark's per-shard tick timings (written by
+  # benchmarks/bench_service_soak.py via save_result) into the phase
+  # file, one row per (fleet, shard).  No-op when the soak didn't run.
+  local soak_json="${1:-results/service_soak.json}"
+  [ -f "$soak_json" ] || { echo "(no soak result at $soak_json)"; return 0; }
+  python - "$soak_json" <<'PY' | while IFS=$'\t' read -r secs name; do
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    soak = json.load(handle)
+for fleet in soak.get("fleets", []):
+    for shard in fleet.get("per_shard", []):
+        print(f"{shard['tick_seconds']}\t"
+              f"soak shard {shard['shard']}/{fleet['n_shards']} tick time "
+              f"({shard['ticks']} ticks, {shard['sessions']} sessions)")
+PY
+    phase_record "$secs" "$name"
+  done
+}
+
 phase_summary() {
   echo "== per-phase timing summary =="
   if [ ! -f "$PHASES_FILE" ]; then

@@ -90,6 +90,19 @@ class QueryRun:
     def n_nodes(self) -> int:
         return len(self.nodes)
 
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the recorded trajectories (array members
+        only — the dominant term; metadata is O(nodes)).  The sharded
+        service's admission control charges a replay session this many
+        bytes against its shard's memory budget."""
+        total = (self.times.nbytes + self.K.nbytes + self.R.nbytes
+                 + self.W.nbytes + self.LB.nbytes + self.UB.nbytes
+                 + self.N.nbytes)
+        if self.D is not None:
+            total += self.D.nbytes
+        return total
+
     # -- persistence (repro.trace) ------------------------------------------
 
     def to_trace(self, path):

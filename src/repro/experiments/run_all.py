@@ -66,6 +66,7 @@ ORDER = [
     "bench_ablations.py",
     "bench_fuzz_generalization.py",
     "bench_service_throughput.py",
+    "bench_service_soak.py",
     "bench_trace_warmstart.py",
     "bench_parallel_execution.py",
     "bench_incremental_monitor.py",
@@ -76,6 +77,7 @@ ORDER = [
 #: the CPU out from under a timed section.
 TIMING_SENSITIVE = {
     "bench_service_throughput.py",
+    "bench_service_soak.py",
     "bench_trace_warmstart.py",
     "bench_parallel_execution.py",
     "bench_incremental_monitor.py",

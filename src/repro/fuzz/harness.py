@@ -285,8 +285,10 @@ def run_scenario(seed: int, config: FuzzConfig | None = None
     ctx = OracleContext(seed=seed, repro=repro)
     slice_steps = int(rng.integers(1, 9))
     max_live = int(rng.integers(1, len(runs) + 1))
+    shards = int(rng.integers(2, 5))
     check_service_parity(runs, streams, monitor, ctx,
-                         slice_steps=slice_steps, max_live=max_live)
+                         slice_steps=slice_steps, max_live=max_live,
+                         shards=shards)
     checks["service"] += 1
 
     if config.train_selectors:
@@ -301,7 +303,8 @@ def run_scenario(seed: int, config: FuzzConfig | None = None
                 check_trace_roundtrip(run, reports, trained, query_ctx)
                 checks["trace"] += 1
             check_service_parity(runs, solo, trained, ctx,
-                                 slice_steps=slice_steps, max_live=max_live)
+                                 slice_steps=slice_steps, max_live=max_live,
+                                 shards=shards)
             checks["service"] += 1
 
     return ScenarioReport(

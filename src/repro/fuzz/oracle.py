@@ -20,7 +20,11 @@ pins a different subsystem against a different source of truth:
    bit-identical report stream the live monitor emitted.
 5. **Service parity** — scheduling the same runs through the pooled
    :class:`~repro.service.service.ProgressService` (time-sliced, batched
-   selector scoring) must reproduce each solo report stream bit-identically.
+   selector scoring) must reproduce each solo report stream bit-identically;
+   the sharded variant partitions them across a
+   :class:`~repro.service.sharded.ShardedProgressService` (report batches
+   round-tripped through the wire codec) under both placements and makes
+   the same demand.
 
 Violations raise :class:`OracleViolation`, an ``AssertionError`` whose
 message always carries the scenario's seed and the exact shell command
@@ -43,7 +47,7 @@ from repro.progress.gold import BytesProcessedOracle, GetNextOracle
 from repro.progress.registry import all_estimators
 from repro.progress.streaming import stream_estimates
 from repro.query.logical import QuerySpec
-from repro.service import ProgressService
+from repro.service import ProgressService, ShardedProgressService
 from repro.trace.replay import replay_monitor
 from repro.trace.store import read_trace, write_trace
 
@@ -318,7 +322,8 @@ def check_service_parity(runs: list[QueryRun],
                          solo_reports: list[list[ProgressReport]],
                          monitor: ProgressMonitor, ctx: OracleContext,
                          slice_steps: int = 4,
-                         max_live: int | None = None) -> None:
+                         max_live: int | None = None,
+                         shards: int | None = None) -> None:
     layer = "service"
     for vectorized in (True, False):
         service = ProgressService(monitor, slice_steps=slice_steps,
@@ -339,3 +344,46 @@ def check_service_parity(runs: list[QueryRun],
                  f"service drained ({mode}) but completed "
                  f"{service.stats.sessions_completed} of "
                  f"{service.stats.sessions_submitted} submitted sessions")
+    if shards is not None:
+        check_sharded_parity(runs, solo_reports, monitor, ctx,
+                             slice_steps=slice_steps, max_live=max_live,
+                             shards=shards)
+
+
+def check_sharded_parity(runs: list[QueryRun],
+                         solo_reports: list[list[ProgressReport]],
+                         monitor: ProgressMonitor, ctx: OracleContext,
+                         slice_steps: int = 4,
+                         max_live: int | None = None,
+                         shards: int = 2) -> None:
+    """Layer 5, sharded: partitioned serving must match solo monitoring.
+
+    Runs the same submissions through a :class:`ShardedProgressService`
+    (inline shards, but every report batch still round-trips through the
+    wire codec) and requires each session's stream to be bit-identical to
+    its solo stream — under an arbitrary shard count, slice size and
+    per-shard admission bound.  Both placements are exercised: they remap
+    sessions to shards, which per-session parity must not notice.
+    """
+    layer = "service"
+    for placement in ("round_robin", "hash"):
+        service = ShardedProgressService(
+            monitor, n_shards=shards, slice_steps=slice_steps,
+            max_live=max_live, placement=placement)
+        ids = [service.submit_replay(run) for run in runs]
+        results = service.run_until_complete(max_ticks=1_000_000)
+        service.close()
+        for sid, solo, run in zip(ids, solo_reports, runs):
+            _, reports = results[sid]
+            _require(report_streams_equal(solo, reports), layer, ctx,
+                     f"sharded reports ({shards} shards, {placement}) for "
+                     f"{run.query_name!r} diverge from solo monitoring "
+                     f"({len(reports)} vs {len(solo)} reports; "
+                     f"slice_steps={slice_steps}, max_live={max_live})")
+        fleet = service.stats.service
+        _require(fleet.sessions_completed == fleet.sessions_submitted
+                 == len(runs), layer, ctx,
+                 f"sharded service drained ({shards} shards, {placement}) "
+                 f"but completed {fleet.sessions_completed} of "
+                 f"{fleet.sessions_submitted} submitted sessions "
+                 f"({len(runs)} expected)")

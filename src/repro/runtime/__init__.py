@@ -26,7 +26,12 @@ layer without a determinism tax.
 
 from repro.runtime.partition import partition_indices
 from repro.runtime.pool import JOBS_ENV, available_cpus, resolve_jobs, run_tasks
-from repro.runtime.transport import runs_from_payload, runs_to_payload
+from repro.runtime.transport import (
+    reports_from_payload,
+    reports_to_payload,
+    runs_from_payload,
+    runs_to_payload,
+)
 
 __all__ = [
     "JOBS_ENV",
@@ -34,6 +39,8 @@ __all__ = [
     "partition_indices",
     "resolve_jobs",
     "run_tasks",
+    "reports_from_payload",
+    "reports_to_payload",
     "runs_from_payload",
     "runs_to_payload",
 ]

@@ -35,7 +35,20 @@ JOBS_ENV = "REPRO_JOBS"
 
 
 def available_cpus() -> int:
-    """CPUs usable by this process (``os.cpu_count`` floor-ed at 1)."""
+    """CPUs *usable by this process*, floor-ed at 1.
+
+    ``os.sched_getaffinity`` (where the platform has it) reflects CPU
+    affinity masks and cgroup cpusets, so ``--jobs auto`` and shard
+    counts inside a CI container limited to 2 cores resolve to 2, not to
+    the host's 64.  Platforms without the call (macOS, Windows) fall
+    back to ``os.cpu_count``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(len(getaffinity(0)), 1)
+        except OSError:  # pragma: no cover - exotic kernels only
+            pass
     return os.cpu_count() or 1
 
 

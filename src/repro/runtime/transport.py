@@ -26,6 +26,8 @@ from repro.engine.run import QueryRun
 from repro.trace.format import (
     TRACE_FORMAT_VERSION,
     check_trace_version,
+    reports_from_columns,
+    reports_to_columns,
     run_from_members,
     run_to_manifest,
     run_to_members,
@@ -66,3 +68,40 @@ def runs_from_payload(payload: bytes) -> list[QueryRun]:
     with np.load(io.BytesIO(payload[body_start:])) as members:
         return [run_from_members(entry, members, entry["prefix"])
                 for entry in header["runs"]]
+
+
+def reports_to_payload(tagged: "list[tuple[int, object]]") -> bytes:
+    """Encode ``(session_id, ProgressReport)`` pairs as one bytes payload.
+
+    The sharded service's per-tick report frame: the report rows cross in
+    the columnar trace codec (:func:`repro.trace.format.reports_to_columns`
+    — float64 bit-exact, estimator names interned) with the session ids as
+    one extra int64 member, under the same length-prefixed header framing
+    as :func:`runs_to_payload`.
+    """
+    entry, members = reports_to_columns([report for _, report in tagged])
+    members["sids"] = np.asarray([sid for sid, _ in tagged], dtype=np.int64)
+    blob = io.BytesIO()
+    np.savez(blob, **members)
+    header = json.dumps({
+        "format_version": TRACE_FORMAT_VERSION,
+        "reports": entry,
+    }).encode()
+    return (len(header).to_bytes(_LENGTH_BYTES, "little")
+            + header + blob.getvalue())
+
+
+def reports_from_payload(payload: bytes) -> "list[tuple[int, object]]":
+    """Decode a :func:`reports_to_payload` payload back into tagged reports."""
+    if len(payload) < _LENGTH_BYTES:
+        raise ValueError("truncated report payload: missing header length")
+    header_len = int.from_bytes(payload[:_LENGTH_BYTES], "little")
+    body_start = _LENGTH_BYTES + header_len
+    if len(payload) < body_start:
+        raise ValueError("truncated report payload: missing header")
+    header = json.loads(payload[_LENGTH_BYTES:body_start].decode())
+    check_trace_version(header)
+    with np.load(io.BytesIO(payload[body_start:])) as members:
+        reports = reports_from_columns(header["reports"], members)
+        sids = members["sids"]
+    return list(zip((int(sid) for sid in sids), reports))

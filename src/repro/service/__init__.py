@@ -12,7 +12,12 @@ layer for the reproduction:
   vectorized :meth:`~repro.core.selection.EstimatorSelector.predict_errors`
   pass per selector kind per tick, shared by all sessions;
 * :mod:`repro.service.service` — :class:`ProgressService`, tying the
-  three together and exposing submit / tick / run_until_complete.
+  three together and exposing submit / tick / run_until_complete;
+* :mod:`repro.service.sharded` — :class:`ShardedProgressService`,
+  partitioning sessions deterministically across N worker processes
+  (one vectorized ``ProgressService`` shard each, all IPC through the
+  trace codec) with per-shard memory budgets and a graceful drain that
+  reproduces the single-process report streams bit-for-bit.
 
 Pooled report streams are bit-identical to what a solo
 :class:`~repro.core.monitor.ProgressMonitor` produces for each query —
@@ -23,6 +28,13 @@ from repro.service.scheduler import RoundRobinScheduler
 from repro.service.scoring import BatchedSelectorScorer, ScoringStats
 from repro.service.service import ProgressService, ServiceStats
 from repro.service.session import QuerySession, SessionStatus
+from repro.service.sharded import (
+    FleetStats,
+    MemoryBudgetExceeded,
+    ShardedProgressService,
+    ShardStats,
+    place_session,
+)
 
 __all__ = [
     "ProgressService",
@@ -32,4 +44,9 @@ __all__ = [
     "RoundRobinScheduler",
     "BatchedSelectorScorer",
     "ScoringStats",
+    "ShardedProgressService",
+    "ShardStats",
+    "FleetStats",
+    "MemoryBudgetExceeded",
+    "place_session",
 ]

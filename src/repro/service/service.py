@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.catalog.table import Database
 from repro.core.monitor import DYNAMIC, ProgressMonitor, ProgressReport
@@ -74,7 +74,31 @@ class ServiceStats:
 
     @property
     def reports_per_tick(self) -> float:
+        # guard the zero-tick divide: a merged roll-up may legitimately
+        # cover shards that never ticked (admitted nothing yet)
         return self.reports / self.ticks if self.ticks else 0.0
+
+    @classmethod
+    def merge(cls, parts: "Iterable[ServiceStats]") -> "ServiceStats":
+        """Fleet roll-up: the component-wise sum of per-shard stats.
+
+        Session-level counters (submitted / completed / steps / reports)
+        are additive across disjoint session sets, so the merge of shard
+        stats equals the stats of serving the concatenated set — the
+        Hypothesis property in ``tests/test_service_stats.py``.  ``ticks``
+        and ``sessions_scanned`` sum too, but count per-shard scheduler
+        rounds: shards tick concurrently, so the merged ``ticks`` is
+        total rounds *worked*, not wall-clock rounds.
+        """
+        total = cls()
+        for part in parts:
+            total.ticks += part.ticks
+            total.steps += part.steps
+            total.reports += part.reports
+            total.sessions_submitted += part.sessions_submitted
+            total.sessions_completed += part.sessions_completed
+            total.sessions_scanned += part.sessions_scanned
+        return total
 
 
 class ProgressService:
@@ -95,6 +119,11 @@ class ProgressService:
     on_report:
         Called as ``on_report(session, report)`` for every finalized
         report, in per-session capture order.
+    on_complete:
+        Called as ``on_complete(session)`` once per session, on the tick
+        it finishes — strictly *after* its final reports flushed, so the
+        hook may release the session (the sharded service frees its
+        memory-budget share and drops heavy state here).
     vectorized:
         Advance all sessions' streaming states through the
         structure-of-arrays fast path (default).  Engages only when the
@@ -108,7 +137,8 @@ class ProgressService:
                  max_live: int | None = None,
                  on_report: Callable[[QuerySession, ProgressReport], None]
                  | None = None,
-                 vectorized: bool = True):
+                 vectorized: bool = True,
+                 on_complete: Callable[[QuerySession], None] | None = None):
         self.monitor = monitor
         self.scheduler = RoundRobinScheduler(slice_steps)
         self.scorer = BatchedSelectorScorer(monitor.static_selector,
@@ -117,6 +147,7 @@ class ProgressService:
             raise ValueError("max_live must be positive (or None)")
         self.max_live = max_live
         self.on_report = on_report
+        self.on_complete = on_complete
         self.sessions: list[QuerySession] = []
         self._pending: deque[QuerySession] = deque()
         self._live: list[QuerySession] = []
@@ -196,6 +227,12 @@ class ProgressService:
             for session in round_sessions:
                 if session.done:
                     self._vector.release_session(session)
+        if self.on_complete is not None:
+            # fires after the flush (and SoA slot release): the session's
+            # final reports are already emitted, so the hook may drain it
+            for session in round_sessions:
+                if session.done:
+                    self.on_complete(session)
         return self.active
 
     def run_until_complete(self, max_ticks: int | None = None
@@ -208,7 +245,19 @@ class ProgressService:
                 raise RuntimeError(
                     f"service did not drain within {max_ticks} ticks")
         return {s.session_id: (s.result, s.reports)
-                for s in self.sessions if s.done}
+                for s in self.sessions if s.done and not s.released}
+
+    def release_session(self, session_id: int) -> None:
+        """Drain hook: drop a completed session's heavy state.
+
+        After its reports have been consumed (shipped over the wire by
+        the sharded service, or simply read), the session keeps only a
+        tombstone — status, id, counters — so a long-lived service's
+        memory tracks *live* sessions, not every session ever served.
+        Released sessions are excluded from :meth:`run_until_complete`
+        results.  Idempotent; refuses sessions that are still running.
+        """
+        self.sessions[session_id].release()
 
     # -- internals -----------------------------------------------------------
 

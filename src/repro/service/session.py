@@ -69,6 +69,7 @@ class QuerySession:
         self.pending_starts: list = []
         self.deferred = deferred
         self.steps = 0
+        self.released = False
         self._monitor = monitor
         self._executor = executor
         self._plan = plan
@@ -132,6 +133,29 @@ class QuerySession:
     @property
     def done(self) -> bool:
         return self.status is SessionStatus.DONE
+
+    def release(self) -> None:
+        """Drop everything but the tombstone (id, status, step count).
+
+        The sharded service's drain protocol calls this once a finished
+        session's reports have been shipped: the execution handle (which
+        pins the whole recorded run for replay sessions), the queued
+        capture state and the report list all go, so shard memory scales
+        with live sessions under churn.  Idempotent.
+        """
+        if not self.done:
+            raise RuntimeError(
+                f"session {self.session_id} is {self.status.value}; only "
+                f"completed sessions can be released")
+        self.released = True
+        self.reports = []
+        self.drafts.clear()
+        self.pending_reports = []
+        self.pending_starts = []
+        self.state = MonitorState()
+        self._executor = None
+        self._plan = None
+        self._handle = None
 
     @property
     def result(self) -> QueryRun:

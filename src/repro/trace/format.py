@@ -168,3 +168,103 @@ def run_from_members(manifest: dict[str, Any],
 def check_trace_version(manifest: dict[str, Any]) -> None:
     """Raise a clear error unless ``manifest`` is readable by this build."""
     require_format_version(manifest, TRACE_FORMAT_VERSION, "trace")
+
+
+# -- report rows (the sharded service's wire format) --------------------------
+
+#: Per-batch ``.npz`` member names of the report-row codec.
+REPORT_MEMBER_KEYS = ("time", "progress", "active_pid", "active_est",
+                      "pp_off", "pp_pid", "pp_val", "pe_off", "pe_pid",
+                      "pe_est")
+
+
+def reports_to_columns(reports) -> "tuple[dict[str, Any], dict[str, np.ndarray]]":
+    """Encode a batch of :class:`~repro.core.monitor.ProgressReport` rows.
+
+    Columnar split in the spirit of :func:`run_to_members`: every float
+    crosses as binary float64 (bit-exact), strings are interned into one
+    estimator-name table in the JSON-safe header entry, and the two
+    variable-length per-report maps (``pipeline_progress`` /
+    ``pipeline_estimator``) flatten into value arrays with offset arrays,
+    CSR-style.  This is the sharded service's per-tick wire format — a
+    decoded report compares equal to the original field by field, which
+    the cross-shard bit-identity guarantee rides on.
+    """
+    names: list[str] = []
+    index: dict[str, int] = {}
+
+    def intern(name: str | None) -> int:
+        if name is None:
+            return -1
+        at = index.get(name)
+        if at is None:
+            at = index[name] = len(names)
+            names.append(name)
+        return at
+
+    n = len(reports)
+    time = np.empty(n, dtype=np.float64)
+    progress = np.empty(n, dtype=np.float64)
+    active_pid = np.empty(n, dtype=np.int64)
+    active_est = np.empty(n, dtype=np.int64)
+    pp_off = np.zeros(n + 1, dtype=np.int64)
+    pe_off = np.zeros(n + 1, dtype=np.int64)
+    pp_pid: list[int] = []
+    pp_val: list[float] = []
+    pe_pid: list[int] = []
+    pe_est: list[int] = []
+    for i, report in enumerate(reports):
+        time[i] = report.time
+        progress[i] = report.progress
+        active_pid[i] = report.active_pid
+        active_est[i] = intern(report.active_estimator)
+        for pid, value in report.pipeline_progress.items():
+            pp_pid.append(pid)
+            pp_val.append(value)
+        pp_off[i + 1] = len(pp_pid)
+        for pid, name in report.pipeline_estimator.items():
+            pe_pid.append(pid)
+            pe_est.append(intern(name))
+        pe_off[i + 1] = len(pe_pid)
+    entry = {"count": n, "estimators": names}
+    members = {
+        "time": time, "progress": progress,
+        "active_pid": active_pid, "active_est": active_est,
+        "pp_off": pp_off,
+        "pp_pid": np.asarray(pp_pid, dtype=np.int64),
+        "pp_val": np.asarray(pp_val, dtype=np.float64),
+        "pe_off": pe_off,
+        "pe_pid": np.asarray(pe_pid, dtype=np.int64),
+        "pe_est": np.asarray(pe_est, dtype=np.int64),
+    }
+    return entry, members
+
+
+def reports_from_columns(entry: dict[str, Any],
+                         members: Mapping[str, np.ndarray],
+                         prefix: str = "") -> list:
+    """Decode :func:`reports_to_columns` output back into report objects."""
+    from repro.core.monitor import ProgressReport
+
+    names = list(entry["estimators"])
+    col = {key: members[f"{prefix}{key}"] for key in REPORT_MEMBER_KEYS}
+    reports = []
+    for i in range(int(entry["count"])):
+        pp_lo, pp_hi = int(col["pp_off"][i]), int(col["pp_off"][i + 1])
+        pe_lo, pe_hi = int(col["pe_off"][i]), int(col["pe_off"][i + 1])
+        est = int(col["active_est"][i])
+        reports.append(ProgressReport(
+            time=float(col["time"][i]),
+            progress=float(col["progress"][i]),
+            active_pid=int(col["active_pid"][i]),
+            active_estimator=None if est < 0 else names[est],
+            pipeline_progress={
+                int(pid): float(value)
+                for pid, value in zip(col["pp_pid"][pp_lo:pp_hi],
+                                      col["pp_val"][pp_lo:pp_hi])},
+            pipeline_estimator={
+                int(pid): names[int(at)]
+                for pid, at in zip(col["pe_pid"][pe_lo:pe_hi],
+                                   col["pe_est"][pe_lo:pe_hi])},
+        ))
+    return reports

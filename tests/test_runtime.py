@@ -12,16 +12,20 @@ exactly — runs, TrainingData matrices and recorded traces alike.
 import numpy as np
 import pytest
 
+from repro.core.monitor import ProgressReport
 from repro.engine.run import QueryRun
 from repro.experiments.harness import NO_TRACE_STORE, ExperimentHarness
 from repro.runtime import (
     available_cpus,
     partition_indices,
+    reports_from_payload,
+    reports_to_payload,
     resolve_jobs,
     run_tasks,
     runs_from_payload,
     runs_to_payload,
 )
+from repro.runtime import pool as pool_mod
 from repro.trace.store import TraceStore
 from test_trace_store import UNIT_SCALE, assert_runs_identical
 
@@ -55,6 +59,33 @@ class TestPartition:
             partition_indices(-1, 2)
         with pytest.raises(ValueError, match="at least one part"):
             partition_indices(5, 0)
+
+
+# ---------------------------------------------------------------------------
+# CPU accounting
+# ---------------------------------------------------------------------------
+
+class TestAvailableCpus:
+    def test_respects_scheduler_affinity(self, monkeypatch):
+        """A cgroup/taskset-restricted process must size pools and shard
+        fleets by its affinity mask, not the machine's core count."""
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity",
+                            lambda pid: {0, 2, 5}, raising=False)
+        assert available_cpus() == 3
+
+    def test_empty_affinity_clamps_to_one(self, monkeypatch):
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity",
+                            lambda pid: set(), raising=False)
+        assert available_cpus() == 1
+
+    def test_fallback_without_affinity_support(self, monkeypatch):
+        """Platforms without ``sched_getaffinity`` (e.g. macOS) fall back
+        to ``os.cpu_count()``; a None cpu_count degrades to 1."""
+        monkeypatch.delattr(pool_mod.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 6)
+        assert available_cpus() == 6
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: None)
+        assert available_cpus() == 1
 
 
 # ---------------------------------------------------------------------------
@@ -172,6 +203,64 @@ class TestTransport:
                    + payload[8 + header_len:])
         with pytest.raises(ValueError, match="unsupported trace format"):
             runs_from_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# report transport (the sharded service's return leg)
+# ---------------------------------------------------------------------------
+
+def _sample_reports():
+    """Awkward values on purpose: non-round floats (bit-exactness), a
+    None estimator, empty and multi-entry per-pipeline dicts."""
+    return [
+        (7, ProgressReport(time=0.1 + 0.2, progress=1 / 3, active_pid=0,
+                           active_estimator="tgn",
+                           pipeline_progress={0: 0.25, 2: 2 / 7},
+                           pipeline_estimator={0: "tgn", 2: "dne"})),
+        (3, ProgressReport(time=1e-9, progress=0.0, active_pid=-1,
+                           active_estimator=None)),
+        (7, ProgressReport(time=2.5, progress=1.0, active_pid=1,
+                           active_estimator="dne",
+                           pipeline_progress={1: 1.0},
+                           pipeline_estimator={1: "dne"})),
+    ]
+
+
+class TestReportTransport:
+    def test_round_trip_bit_identical(self):
+        tagged = _sample_reports()
+        payload = reports_to_payload(tagged)
+        assert isinstance(payload, bytes)
+        clones = reports_from_payload(payload)
+        assert len(clones) == len(tagged)
+        for (sid, report), (c_sid, clone) in zip(tagged, clones):
+            assert c_sid == sid
+            assert isinstance(clone, ProgressReport)
+            # dataclass equality covers every field, dicts included; the
+            # floats crossed as binary float64, so == means bit-identical
+            assert clone == report
+
+    def test_empty_batch_round_trips(self):
+        assert reports_from_payload(reports_to_payload([])) == []
+
+    def test_truncated_payload_rejected(self):
+        payload = reports_to_payload(_sample_reports())
+        with pytest.raises(ValueError, match="missing header length"):
+            reports_from_payload(payload[:4])
+        with pytest.raises(ValueError, match="missing header"):
+            reports_from_payload(payload[:12])
+
+    def test_foreign_format_version_rejected(self):
+        import json
+        payload = reports_to_payload(_sample_reports())
+        header_len = int.from_bytes(payload[:8], "little")
+        header = json.loads(payload[8:8 + header_len].decode())
+        header["format_version"] = 999
+        tampered = json.dumps(header).encode()
+        payload = (len(tampered).to_bytes(8, "little") + tampered
+                   + payload[8 + header_len:])
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            reports_from_payload(payload)
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.service import (
     ProgressService,
     RoundRobinScheduler,
     SessionStatus,
+    ShardedProgressService,
 )
 
 pytestmark = pytest.mark.slow  # execution-backed: live multi-query runs
@@ -366,3 +367,84 @@ class TestServiceAccounting:
         results = service.run_until_complete(max_ticks=100_000)
         assert service.stats.sessions_completed == 2
         assert results[1][1], "second wave produced reports"
+
+
+class TestShardedChurn:
+    """Admission-control churn on the sharded fleet, with the trained
+    monitor over live-recorded runs (the heavyweight complement to the
+    golden-trace anchors in ``test_service_sharded.py``)."""
+
+    @pytest.fixture(scope="class")
+    def solo_streams(self, replay_runs, monitor):
+        service = ProgressService(monitor, slice_steps=4)
+        for run in replay_runs:
+            service.submit_replay(run)
+        results = service.run_until_complete(max_ticks=100_000)
+        return [results[sid][1] for sid in range(len(replay_runs))]
+
+    def test_submissions_while_others_drain(self, replay_runs, monitor,
+                                            solo_streams):
+        """A second wave submitted mid-drain (some first-wave sessions
+        already retired) must neither disturb in-flight streams nor its
+        own — placement stays by global submission index."""
+        service = ShardedProgressService(monitor, n_shards=2, slice_steps=3,
+                                        max_live=1)
+        first = [service.submit_replay(run) for run in replay_runs]
+        ticks = 0
+        while service.stats.service.sessions_completed < 2:
+            assert service.tick(), "fleet drained before the churn point"
+            ticks += 1
+            assert ticks < 100_000
+        second = [service.submit_replay(run) for run in replay_runs]
+        results = service.run_until_complete(max_ticks=100_000)
+        service.close()
+        for wave in (first, second):
+            for sid, solo in zip(wave, solo_streams):
+                assert results[sid][1] == solo
+        assert service.stats.service.sessions_completed \
+            == 2 * len(replay_runs)
+
+    def test_budget_deferred_admissions_retry_after_retirement(
+            self, replay_runs, monitor, solo_streams):
+        budget = max(run.nbytes for run in replay_runs)
+        service = ShardedProgressService(monitor, n_shards=1, slice_steps=4,
+                                        memory_budget_bytes=budget)
+        sids = [service.submit_replay(run) for run in replay_runs]
+        results = service.run_until_complete(max_ticks=100_000)
+        service.close()
+        shard = service.stats.shards[0]
+        assert shard.deferrals > 0, "budget never bound: no churn exercised"
+        assert shard.bytes_peak <= budget
+        assert shard.bytes_live == 0
+        for sid, solo in zip(sids, solo_streams):
+            assert results[sid][1] == solo
+
+    def test_retire_idempotent_under_sharded_drain(self, replay_runs,
+                                                   monitor):
+        """The drain protocol retires, releases and ships each session
+        exactly once; forcing a second retirement must not double-count
+        completions, and release stays idempotent on the tombstone."""
+        service = ShardedProgressService(monitor, n_shards=2, slice_steps=4)
+        for run in replay_runs:
+            service.submit_replay(run)
+        service.run_until_complete(max_ticks=100_000)
+        completed = service.stats.service.sessions_completed
+        assert completed == len(replay_runs)
+        for shard in service._shards:
+            inner = shard.service
+            for session in inner.sessions:
+                assert session.done and session.released
+                inner._retire(session)       # second retirement: no-op
+                inner.release_session(session.session_id)  # idempotent
+        assert service.stats.service.sessions_completed == completed
+        service.close()
+
+    def test_release_refuses_unfinished_sessions(self, replay_runs, monitor):
+        service = ProgressService(monitor, slice_steps=4)
+        sid = service.submit_replay(replay_runs[0])
+        with pytest.raises(RuntimeError, match="pending"):
+            service.release_session(sid)
+        service.run_until_complete(max_ticks=100_000)
+        service.release_session(sid)
+        assert service.sessions[sid].released
+        assert service.run_until_complete() == {}  # tombstones drop out

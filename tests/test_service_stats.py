@@ -1,0 +1,101 @@
+"""ServiceStats merge: the fleet roll-up is the concatenated-set account.
+
+Two layers of the same claim:
+
+* algebraic (Hypothesis over arbitrary counter values): ``merge`` is the
+  component-wise sum — identity on the empty iterable, permutation-
+  invariant, associative under chunked partitions;
+* behavioural (Hypothesis over shard assignments of a replayed session
+  set): for any partition of the sessions across shards, the merged
+  per-shard stats report the *session-level* counters (steps, reports,
+  submitted, completed) of serving the concatenated set in one pooled
+  service.  ``ticks`` / ``sessions_scanned`` are excluded by contract:
+  shards tick concurrently, so their sums count per-shard scheduler
+  rounds, not wall-clock rounds (see :meth:`ServiceStats.merge`).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitor import ProgressMonitor
+from repro.service import ProgressService, ServiceStats
+from repro.trace.store import read_trace
+
+from test_trace_golden import GOLDEN_DIR
+
+FIELDS = [f.name for f in dataclasses.fields(ServiceStats)]
+
+counters = st.integers(min_value=0, max_value=10**9)
+stats_objects = st.builds(ServiceStats, *[counters] * len(FIELDS))
+
+
+class TestMergeAlgebra:
+    @given(st.lists(stats_objects, max_size=8))
+    def test_merge_is_componentwise_sum(self, parts):
+        merged = ServiceStats.merge(parts)
+        for name in FIELDS:
+            assert getattr(merged, name) == \
+                sum(getattr(p, name) for p in parts)
+
+    @given(st.lists(stats_objects, max_size=6), st.randoms())
+    def test_merge_is_order_invariant(self, parts, rnd):
+        shuffled = list(parts)
+        rnd.shuffle(shuffled)
+        assert ServiceStats.merge(parts) == ServiceStats.merge(shuffled)
+
+    @given(st.lists(stats_objects, min_size=2, max_size=8),
+           st.integers(min_value=1, max_value=7))
+    def test_merge_is_associative_under_chunking(self, parts, k):
+        cut = k % len(parts)
+        rechunked = ServiceStats.merge([
+            ServiceStats.merge(parts[:cut]), ServiceStats.merge(parts[cut:])])
+        assert rechunked == ServiceStats.merge(parts)
+
+    def test_empty_merge_is_identity(self):
+        assert ServiceStats.merge([]) == ServiceStats()
+
+    def test_zero_tick_reports_per_tick_guard(self):
+        # a merged roll-up may cover shards that never ticked; the ratio
+        # must degrade to 0.0, not divide by zero
+        assert ServiceStats().reports_per_tick == 0.0
+        assert ServiceStats.merge([ServiceStats(), ServiceStats()]
+                                  ).reports_per_tick == 0.0
+        assert ServiceStats(ticks=4, reports=6).reports_per_tick == 1.5
+
+
+@pytest.fixture(scope="module")
+def golden_runs():
+    runs, _ = read_trace(GOLDEN_DIR / "fuzz")
+    return [runs[i % len(runs)] for i in range(6)]
+
+
+def _serve(runs, slice_steps):
+    service = ProgressService(ProgressMonitor(refresh_every=2),
+                              slice_steps=slice_steps)
+    for run in runs:
+        service.submit_replay(run)
+    service.run_until_complete(max_ticks=100_000)
+    return service.stats
+
+
+class TestMergeEqualsConcatenatedSet:
+    @settings(max_examples=12, deadline=None)
+    @given(assignment=st.lists(st.integers(min_value=0, max_value=2),
+                               min_size=6, max_size=6),
+           slice_steps=st.integers(min_value=1, max_value=8))
+    def test_sharded_rollup_matches_single_service(self, golden_runs,
+                                                   assignment, slice_steps):
+        """Partition the sessions by any shard assignment: the merged
+        session-level counters equal one service serving them all."""
+        whole = _serve(golden_runs, slice_steps)
+        parts = [
+            _serve([run for run, shard in zip(golden_runs, assignment)
+                    if shard == s], slice_steps)
+            for s in range(3)]
+        merged = ServiceStats.merge(parts)
+        for name in ("steps", "reports", "sessions_submitted",
+                     "sessions_completed"):
+            assert getattr(merged, name) == getattr(whole, name), name
