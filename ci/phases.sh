@@ -53,6 +53,31 @@ PY
   done
 }
 
+phase_record_net() {
+  # Fold the network soak's gated numbers (written by
+  # benchmarks/bench_service_net.py via save_result) into the phase
+  # file: sustained sessions/sec and the lockstep-round / done-latency
+  # p99s become their own rows so BENCH_summary.json tracks the
+  # network front end per commit.  No-op when the soak didn't run.
+  local net_json="${1:-results/service_net.json}"
+  [ -f "$net_json" ] || { echo "(no network soak result at $net_json)"; return 0; }
+  python - "$net_json" <<'PY' | while IFS=$'\t' read -r secs name; do
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    net = json.load(handle)
+label = (f"{net['sessions']} sessions, {net['n_shards']} shard(s), "
+         f"max_inflight {net['max_inflight']}, {net['backoffs']} backoffs")
+print(f"{net['wall_seconds']}\tnetwork soak wall clock ({label})")
+print(f"{net['sessions_per_second']}\tnetwork soak sessions/sec (gated)")
+print(f"{net['round_p99_ms'] / 1e3}\tnetwork soak round p99 seconds (gated)")
+print(f"{net['done_latency_p99_ms'] / 1e3}\tnetwork soak done-latency p99 seconds")
+PY
+    phase_record "$secs" "$name"
+  done
+}
+
 phase_summary() {
   echo "== per-phase timing summary =="
   if [ ! -f "$PHASES_FILE" ]; then

@@ -67,6 +67,7 @@ ORDER = [
     "bench_fuzz_generalization.py",
     "bench_service_throughput.py",
     "bench_service_soak.py",
+    "bench_service_net.py",
     "bench_trace_warmstart.py",
     "bench_parallel_execution.py",
     "bench_incremental_monitor.py",
@@ -78,6 +79,7 @@ ORDER = [
 TIMING_SENSITIVE = {
     "bench_service_throughput.py",
     "bench_service_soak.py",
+    "bench_service_net.py",
     "bench_trace_warmstart.py",
     "bench_parallel_execution.py",
     "bench_incremental_monitor.py",

@@ -2,7 +2,7 @@
 
 Submodules: :mod:`~repro.fuzz.generate` (random schemas, skewed databases
 and ad-hoc queries), :mod:`~repro.fuzz.reference` (the naive NumPy
-reference evaluator), :mod:`~repro.fuzz.oracle` (the five oracle layers)
+reference evaluator), :mod:`~repro.fuzz.oracle` (the six oracle layers)
 and :mod:`~repro.fuzz.harness` (scenario driving, presets, the repro
 command).  ``python -m repro.fuzz --seed N`` reproduces any scenario.
 """
@@ -29,6 +29,7 @@ from repro.fuzz.oracle import (
     OracleViolation,
     check_engine_output,
     check_incremental_parity,
+    check_network_parity,
     check_progress_invariants,
     check_service_parity,
     check_trace_roundtrip,
@@ -54,6 +55,7 @@ __all__ = [
     "check_engine_output",
     "check_incremental_parity",
     "check_progress_invariants",
+    "check_network_parity",
     "check_service_parity",
     "check_trace_roundtrip",
     "ReferenceResult",

@@ -4,10 +4,13 @@ One *scenario* is fully determined by ``(preset, seed)``: a random schema
 and skewed database, a batch of ad-hoc queries, a random physical design,
 randomized engine knobs (batch size, a memory grant small enough to force
 spills regularly, observation cadence), one monitored live execution per
-query, and all five oracle layers of :mod:`repro.fuzz.oracle` — engine
+query, and all six oracle layers of :mod:`repro.fuzz.oracle` — engine
 output vs. the NumPy reference, per-snapshot progress invariants,
 incremental-vs-batch estimation parity, trace round-trip/replay parity,
-and pooled-service parity across the scenario's whole query batch.
+pooled/sharded-service parity across the scenario's whole query batch,
+and network parity (the same batch served over real sockets through
+:class:`~repro.service.net.ProgressServer`, client-observed stream bytes
+pinned to solo monitoring).
 
 ``python -m repro.fuzz --preset <name> --seed <seed>`` re-runs any
 scenario; oracle failures embed exactly that command in their message, so
@@ -35,6 +38,7 @@ from repro.fuzz.oracle import (
     OracleViolation,
     check_engine_output,
     check_incremental_parity,
+    check_network_parity,
     check_progress_invariants,
     check_service_parity,
     check_trace_roundtrip,
@@ -91,8 +95,9 @@ PRESETS: dict[str, FuzzConfig] = {
                           seed_base=2000, seed_count=12),
 }
 
-#: The five oracle layers a scenario must pass.
-ORACLE_LAYERS = ("output", "invariants", "incremental", "trace", "service")
+#: The six oracle layers a scenario must pass.
+ORACLE_LAYERS = ("output", "invariants", "incremental", "trace", "service",
+                 "network")
 
 
 def repro_command(seed: int, config: FuzzConfig) -> str:
@@ -290,6 +295,10 @@ def run_scenario(seed: int, config: FuzzConfig | None = None
                          slice_steps=slice_steps, max_live=max_live,
                          shards=shards)
     checks["service"] += 1
+    check_network_parity(runs, streams, monitor, ctx,
+                         slice_steps=slice_steps, max_live=max_live,
+                         shards=shards)
+    checks["network"] += 1
 
     if config.train_selectors:
         trained = _train_scenario_monitor(runs, config, refresh_every)

@@ -1,6 +1,6 @@
 """The fuzzer's cross-layer differential oracle.
 
-Every fuzz scenario is checked on five independent layers, each of which
+Every fuzz scenario is checked on six independent layers, each of which
 pins a different subsystem against a different source of truth:
 
 1. **Output** — the engine's collected result rows must match the naive
@@ -25,6 +25,12 @@ pins a different subsystem against a different source of truth:
    :class:`~repro.service.sharded.ShardedProgressService` (report batches
    round-tripped through the wire codec) under both placements and makes
    the same demand.
+6. **Network parity** — serving the same runs through the asyncio front
+   end (:class:`~repro.service.net.ProgressServer`) and subscribing over
+   real sockets must deliver every session's stream *byte*-identically to
+   the solo monitoring bytes: the WebSocket frames a client collects and
+   the ``reports`` route's payload both re-encode to exactly
+   ``reports_to_payload`` of the solo stream.
 
 Violations raise :class:`OracleViolation`, an ``AssertionError`` whose
 message always carries the scenario's seed and the exact shell command
@@ -33,6 +39,7 @@ that reproduces it — copy it straight out of a CI log.
 
 from __future__ import annotations
 
+import asyncio
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,7 +54,9 @@ from repro.progress.gold import BytesProcessedOracle, GetNextOracle
 from repro.progress.registry import all_estimators
 from repro.progress.streaming import stream_estimates
 from repro.query.logical import QuerySpec
+from repro.runtime.transport import reports_from_payload, reports_to_payload
 from repro.service import ProgressService, ShardedProgressService
+from repro.service.net import ProgressClient, ProgressServer
 from repro.trace.replay import replay_monitor
 from repro.trace.store import read_trace, write_trace
 
@@ -387,3 +396,63 @@ def check_sharded_parity(runs: list[QueryRun],
                  f"but completed {fleet.sessions_completed} of "
                  f"{fleet.sessions_submitted} submitted sessions "
                  f"({len(runs)} expected)")
+
+
+# -- layer 6: network serving vs. solo monitoring ----------------------------
+
+def check_network_parity(runs: list[QueryRun],
+                         solo_reports: list[list[ProgressReport]],
+                         monitor: ProgressMonitor, ctx: OracleContext,
+                         slice_steps: int = 4,
+                         max_live: int | None = None,
+                         shards: int = 2,
+                         tenant: str = "fuzz") -> None:
+    """Layer 6: client-observed streams must equal solo monitoring *bytes*.
+
+    Spins a real :class:`~repro.service.net.ProgressServer` (inline
+    shards) on an ephemeral localhost port, submits every run over HTTP,
+    subscribes to each session's WebSocket stream concurrently, and
+    requires two byte-level identities per session:
+
+    * the concatenation of the client's binary stream frames re-encodes
+      to exactly ``reports_to_payload`` of the solo report stream;
+    * the ``reports`` route returns that same payload verbatim.
+
+    This closes the loop the service layers leave open: not just the
+    decoded rows but the wire bytes a remote subscriber observes are
+    pinned to solo monitoring, end to end through HTTP parsing, the RFC
+    6455 framing and the server's merge/wakeup path.
+    """
+    layer = "network"
+
+    async def scenario():
+        async with ProgressServer(monitor, n_shards=shards,
+                                  slice_steps=slice_steps,
+                                  max_live=max_live) as server:
+            async with ProgressClient(*server.address) as client:
+                sids = await client.submit_runs(tenant, runs)
+                streams = await asyncio.gather(*[
+                    client.stream(tenant, sid) for sid in sids])
+                payloads = [await client.reports_payload(tenant, sid)
+                            for sid in sids]
+        return sids, streams, payloads
+
+    sids, streams, payloads = asyncio.run(scenario())
+    for sid, (frames, done), payload, solo, run in zip(
+            sids, streams, payloads, solo_reports, runs):
+        rows = [pair for frame in frames
+                for pair in reports_from_payload(frame)]
+        expected = reports_to_payload([(sid, report) for report in solo])
+        _require(reports_to_payload(rows) == expected, layer, ctx,
+                 f"WebSocket stream for {run.query_name!r} (session {sid}) "
+                 f"is not byte-identical to solo monitoring "
+                 f"({len(rows)} rows streamed vs {len(solo)} solo; "
+                 f"shards={shards}, slice_steps={slice_steps}, "
+                 f"max_live={max_live})")
+        _require(payload == expected, layer, ctx,
+                 f"reports route payload for {run.query_name!r} (session "
+                 f"{sid}) is not byte-identical to solo monitoring")
+        _require(done.get("reports") == len(solo), layer, ctx,
+                 f"completion frame for {run.query_name!r} counts "
+                 f"{done.get('reports')} reports, solo stream has "
+                 f"{len(solo)}")

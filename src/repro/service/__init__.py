@@ -17,7 +17,13 @@ layer for the reproduction:
   partitioning sessions deterministically across N worker processes
   (one vectorized ``ProgressService`` shard each, all IPC through the
   trace codec) with per-shard memory budgets and a graceful drain that
-  reproduces the single-process report streams bit-for-bit.
+  reproduces the single-process report streams bit-for-bit;
+* :mod:`repro.service.net` — the asyncio HTTP + WebSocket front end
+  (:class:`~repro.service.net.ProgressServer` /
+  :class:`~repro.service.net.ProgressClient`): per-tenant session
+  routes, live report streams in the same columnar wire codec, 429/503
+  admission control, graceful drain.  Run one with
+  ``python -m repro.service.net``.
 
 Pooled report streams are bit-identical to what a solo
 :class:`~repro.core.monitor.ProgressMonitor` produces for each query —

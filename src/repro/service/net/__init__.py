@@ -1,0 +1,35 @@
+"""Progress estimation as a network service.
+
+This package puts :class:`~repro.service.sharded.ShardedProgressService`
+behind an asyncio HTTP + WebSocket API — the "DBMS-side deployment" of
+König et al.'s robust progress estimators, reachable over a wire:
+
+* :mod:`repro.service.net.http` — minimal HTTP/1.1 over asyncio streams
+  (request parsing, Content-Length framing, the error envelope);
+* :mod:`repro.service.net.websocket` — the RFC 6455 subset backing live
+  report streams (handshake, unfragmented frames, close protocol);
+* :mod:`repro.service.net.server` — :class:`ProgressServer`: per-tenant
+  session lifecycle routes, streaming subscriptions, 429/503 admission
+  control with ``Retry-After``, graceful drain;
+* :mod:`repro.service.net.client` — :class:`ProgressClient`, the stdlib
+  reference client used by the parity tests and the soak benchmark;
+* ``python -m repro.service.net`` — run a server from the command line.
+
+Everything on the wire reuses the repo's existing codecs: submissions
+are :func:`~repro.runtime.transport.runs_to_payload` bytes, report rows
+ship as :func:`~repro.runtime.transport.reports_to_payload` batches.  A
+network subscriber therefore observes byte-for-byte the stream the
+in-process sharded supervisor merges — the parity the fuzz oracle's
+``network`` layer enforces.  See ``docs/api.md`` for the full API
+reference and ``docs/architecture.md`` for the layer map.
+"""
+
+from repro.service.net.client import ProgressClient, ServiceError
+from repro.service.net.server import ROUTES, ProgressServer
+
+__all__ = [
+    "ProgressServer",
+    "ProgressClient",
+    "ServiceError",
+    "ROUTES",
+]

@@ -1,0 +1,235 @@
+"""Stdlib asyncio client for :class:`~repro.service.net.server.ProgressServer`.
+
+:class:`ProgressClient` keeps one keep-alive connection for the
+request/response routes and opens a dedicated connection per WebSocket
+stream (a stream hijacks its socket until the session completes).  It is
+the reference consumer of the API — the parity tests, the fuzz oracle's
+``network`` layer and the soak benchmark all speak through it — and a
+worked example for anyone writing a client in another language.
+
+Two levels of API:
+
+* :meth:`ProgressClient.request` — raw ``(status, headers, body)``, for
+  callers that want to see 4xx/5xx themselves (the error-path tests);
+* typed helpers (:meth:`submit_runs`, :meth:`stream`, ...) that raise
+  :class:`ServiceError` on any non-2xx status, carrying the server's
+  error envelope and the ``Retry-After`` hint when admission pushed back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+from urllib.parse import quote
+
+from repro.core.monitor import ProgressReport
+from repro.engine.run import QueryRun
+from repro.runtime.transport import reports_from_payload, runs_to_payload
+from repro.service.net import websocket as ws
+from repro.service.net.http import JSON_TYPE, RUNS_TYPE, read_response
+
+
+class ServiceError(Exception):
+    """A non-2xx response, decoded from the server's error envelope."""
+
+    def __init__(self, status: int, detail: str,
+                 retry_after: float | None = None):
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.detail = detail
+        #: seconds the server asked us to back off (429/503), else None
+        self.retry_after = retry_after
+
+
+class ProgressClient:
+    """Talk to a progress server at ``(host, port)``.
+
+    All methods are coroutines; drive them from one task (the control
+    connection is not multiplexed).  Use as an async context manager to
+    close the connection deterministically.
+    """
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "ProgressClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    # -- transport -----------------------------------------------------------
+
+    async def request(self, method: str, path: str, body: bytes = b"",
+                      content_type: str | None = None,
+                      headers: dict[str, str] | None = None
+                      ) -> tuple[int, dict[str, str], bytes]:
+        """One request on the keep-alive connection; raw response triple."""
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port)
+        lines = [f"{method} {path} HTTP/1.1",
+                 f"Host: {self._host}:{self._port}"]
+        if body or method == "POST":
+            lines.append(f"Content-Length: {len(body)}")
+        if content_type is not None:
+            lines.append(f"Content-Type: {content_type}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self._writer.write(
+            ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await self._writer.drain()
+        status, response_headers, payload = await read_response(self._reader)
+        if response_headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return status, response_headers, payload
+
+    @staticmethod
+    def _checked(status: int, headers: dict[str, str], body: bytes) -> dict:
+        """Decode a JSON reply, raising :class:`ServiceError` on non-2xx."""
+        if status >= 400:
+            try:
+                detail = json.loads(body)["error"]["detail"]
+            except Exception:
+                detail = body.decode("utf-8", "replace")
+            retry = headers.get("retry-after")
+            raise ServiceError(status, detail,
+                               float(retry) if retry else None)
+        return json.loads(body) if body else {}
+
+    # -- session lifecycle ---------------------------------------------------
+
+    async def healthz(self) -> dict:
+        return self._checked(*await self.request("GET", "/healthz"))
+
+    async def stats(self, tenant: str) -> dict:
+        return self._checked(
+            *await self.request("GET", f"/v1/{quote(tenant)}/stats"))
+
+    async def submit_runs(self, tenant: str, runs: list[QueryRun],
+                          name: str | None = None) -> list[int]:
+        """POST recorded runs as one trace-codec payload; global sids."""
+        path = f"/v1/{quote(tenant)}/sessions"
+        if name is not None:
+            path += f"?name={quote(name)}"
+        payload = self._checked(*await self.request(
+            "POST", path, runs_to_payload(runs), RUNS_TYPE))
+        return [entry["session"] for entry in payload["sessions"]]
+
+    async def submit_runs_json(self, tenant: str, runs: list[QueryRun],
+                               name: str | None = None) -> list[int]:
+        """The JSON submission form (base64 body) — same result."""
+        body: dict = {"runs_b64": base64.b64encode(
+            runs_to_payload(runs)).decode("ascii")}
+        if name is not None:
+            body["name"] = name
+        payload = self._checked(*await self.request(
+            "POST", f"/v1/{quote(tenant)}/sessions",
+            json.dumps(body).encode("utf-8"), JSON_TYPE))
+        return [entry["session"] for entry in payload["sessions"]]
+
+    async def list_sessions(self, tenant: str) -> list[dict]:
+        payload = self._checked(*await self.request(
+            "GET", f"/v1/{quote(tenant)}/sessions"))
+        return payload["sessions"]
+
+    async def get_session(self, tenant: str, sid: int) -> dict:
+        return self._checked(*await self.request(
+            "GET", f"/v1/{quote(tenant)}/sessions/{sid}"))
+
+    async def delete_session(self, tenant: str, sid: int) -> dict:
+        return self._checked(*await self.request(
+            "DELETE", f"/v1/{quote(tenant)}/sessions/{sid}"))
+
+    async def reports_payload(self, tenant: str, sid: int) -> bytes:
+        """The session's full stream as raw ``reports_to_payload`` bytes."""
+        status, headers, body = await self.request(
+            "GET", f"/v1/{quote(tenant)}/sessions/{sid}/reports")
+        if status >= 400:
+            self._checked(status, headers, body)
+        return body
+
+    async def reports(self, tenant: str, sid: int
+                      ) -> list[tuple[int, ProgressReport]]:
+        return reports_from_payload(
+            await self.reports_payload(tenant, sid))
+
+    # -- streaming -----------------------------------------------------------
+
+    async def stream(self, tenant: str, sid: int, start: int = 0
+                     ) -> tuple[list[bytes], dict]:
+        """Subscribe to a session's live stream until it completes.
+
+        Returns ``(frames, done)``: each frame is one binary
+        ``reports_to_payload`` batch exactly as the server sent it, and
+        ``done`` is the decoded completion summary.  Use
+        :meth:`stream_reports` for decoded rows.
+        """
+        reader, writer = await asyncio.open_connection(self._host,
+                                                       self._port)
+        try:
+            key = base64.b64encode(os.urandom(16)).decode("ascii")
+            path = f"/v1/{quote(tenant)}/sessions/{sid}/stream"
+            if start:
+                path += f"?from={start}"
+            writer.write((f"GET {path} HTTP/1.1\r\n"
+                          f"Host: {self._host}:{self._port}\r\n"
+                          "Upgrade: websocket\r\n"
+                          "Connection: Upgrade\r\n"
+                          f"Sec-WebSocket-Key: {key}\r\n"
+                          "Sec-WebSocket-Version: 13\r\n"
+                          "\r\n").encode("latin-1"))
+            await writer.drain()
+            status, headers, body = await read_response(reader)
+            if status != 101:
+                self._checked(status, headers, body)
+                raise ServiceError(status, "upgrade refused")
+            if headers.get("sec-websocket-accept") != ws.accept_key(key):
+                raise ws.ProtocolError("bad Sec-WebSocket-Accept key")
+            frames: list[bytes] = []
+            done: dict = {}
+            while True:
+                opcode, payload = await ws.read_frame(reader)
+                if opcode == ws.OP_BINARY:
+                    frames.append(payload)
+                elif opcode == ws.OP_TEXT:
+                    done = json.loads(payload)
+                elif opcode == ws.OP_PING:
+                    writer.write(ws.encode_frame(ws.OP_PONG, payload,
+                                                 mask=True))
+                    await writer.drain()
+                elif opcode == ws.OP_CLOSE:
+                    writer.write(ws.close_frame(mask=True))
+                    await writer.drain()
+                    break
+            return frames, done
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def stream_reports(self, tenant: str, sid: int, start: int = 0
+                             ) -> tuple[list[tuple[int, ProgressReport]],
+                                        dict]:
+        """Decoded form of :meth:`stream`: merged rows plus the summary."""
+        frames, done = await self.stream(tenant, sid, start)
+        rows: list[tuple[int, ProgressReport]] = []
+        for frame in frames:
+            rows.extend(reports_from_payload(frame))
+        return rows, done

@@ -1,11 +1,11 @@
 """Batched estimator-selection scoring across sessions.
 
 This is the service's key speed win over per-query monitoring: instead of
-one :meth:`EstimatorSelector.predict_errors` pass per pipeline (today's
-solo-monitor behaviour, one per query inside each observation callback),
-the scorer collects the feature vectors of every pending selection across
-*all* live sessions and issues a single scoring pass per selector kind per
-tick.  Each pass costs one :meth:`MARTRegressor.predict` per candidate
+one :meth:`EstimatorSelector.predict_errors` pass per pipeline with an
+open selection (the solo monitor's behaviour — one pass per query when
+``finalize`` turns its drafts into reports), the scorer collects the
+feature vectors of every pending selection across *all* live sessions and
+issues a single scoring pass per selector kind per tick.  Each pass costs one :meth:`MARTRegressor.predict` per candidate
 estimator whatever the batch size, so with S sessions needing selection in
 the same tick the service makes S× fewer model invocations — tree
 traversal is vectorized over the stacked feature matrix.

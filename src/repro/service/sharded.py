@@ -43,6 +43,12 @@ per-session results.  Shards release finished sessions the tick their
 reports ship (``release_session``), so shard memory tracks *live*
 sessions; ``keep_reports=False`` additionally drops the supervisor-side
 buffers for soak-style runs where only the stats matter.
+
+Streaming consumers observe the fleet through the ``on_report(sid, report)``
+and ``on_complete(sid)`` supervisor hooks — ``on_complete`` fires after
+all of a round's reports, in ascending session id, which is what lets
+:mod:`repro.service.net` serve this fleet over HTTP/WebSocket with
+bit-identical streams (see ``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -198,6 +204,7 @@ class ShardWorker:
         self._global_sid: dict[int, int] = {}      # local -> global
         self._session_bytes: dict[int, int] = {}   # local -> nbytes
         self._emitted: list[tuple[int, ProgressReport]] = []
+        self._completed: list[int] = []            # global sids, finish order
 
     # -- admission -----------------------------------------------------------
 
@@ -243,9 +250,11 @@ class ShardWorker:
 
     def _complete(self, session) -> None:
         """Drain hook: a session finished and its reports have flushed —
-        release its budget share and its heavy state."""
+        release its budget share and its heavy state, and queue the
+        completion for the supervisor (it rides the next tick reply)."""
         self.stats.bytes_live -= self._session_bytes.pop(
             session.session_id, 0)
+        self._completed.append(self._global_sid.pop(session.session_id))
         self.service.release_session(session.session_id)
 
     # -- driving -------------------------------------------------------------
@@ -267,6 +276,11 @@ class ShardWorker:
     def take_emitted(self) -> list[tuple[int, ProgressReport]]:
         emitted, self._emitted = self._emitted, []
         return emitted
+
+    def take_completed(self) -> list[int]:
+        """Global sids of sessions finished since the last call."""
+        completed, self._completed = self._completed, []
+        return completed
 
 
 def shard_worker_main(conn, shard_id: int, make_monitor,
@@ -297,7 +311,8 @@ def shard_worker_main(conn, shard_id: int, make_monitor,
                 ticks = worker.stats.tick_seconds
                 conn.send(("reports", more,
                            reports_to_payload(worker.take_emitted()),
-                           worker.stats.to_wire(), ticks[shipped_ticks:]))
+                           worker.stats.to_wire(), ticks[shipped_ticks:],
+                           worker.take_completed()))
                 shipped_ticks = len(ticks)
             elif cmd == "stop":
                 conn.send(("bye",))
@@ -351,6 +366,12 @@ class ShardedProgressService:
     on_report:
         ``on_report(global_sid, report)``, fired in merged order (global
         submission order within each lockstep round).
+    on_complete:
+        ``on_complete(global_sid)``, fired exactly once per session, in
+        ascending-sid order within the lockstep round the session
+        finished — strictly after every ``on_report`` of that round, so
+        the hook observes the session's full stream (the network front
+        end closes its live subscriptions here).
     keep_reports:
         ``False`` drops report frames after accounting (and after
         ``on_report``), for soak runs where results would otherwise
@@ -366,6 +387,7 @@ class ShardedProgressService:
                  vectorized: bool = True,
                  on_report: Callable[[int, ProgressReport], None]
                  | None = None,
+                 on_complete: Callable[[int], None] | None = None,
                  keep_reports: bool = True):
         if n_shards is None:
             n_shards = available_cpus()
@@ -379,6 +401,7 @@ class ShardedProgressService:
         self.memory_budget_bytes = memory_budget_bytes
         self.processes = processes
         self.on_report = on_report
+        self.on_complete = on_complete
         self.keep_reports = keep_reports
         self.stats = FleetStats([ShardStats(i) for i in range(n_shards)])
         self._runs: dict[int, QueryRun] = {}
@@ -455,6 +478,17 @@ class ShardedProgressService:
         return (any(self._shard_active)
                 or any(self._outbox[i] for i in range(self.n_shards)))
 
+    @property
+    def sessions_submitted(self) -> int:
+        """Sessions ever accepted by :meth:`submit_replay`."""
+        return self._n_submitted
+
+    @property
+    def sessions_inflight(self) -> int:
+        """Submitted-but-not-yet-completed sessions, fleet-wide — the
+        admission-control headroom the network front end budgets against."""
+        return self._n_submitted - self.stats.service.sessions_completed
+
     def tick(self, rounds: int = 1) -> bool:
         """One lockstep round across all shards (``rounds`` shard ticks
         per frame amortize IPC for drain-heavy phases).  Returns True
@@ -463,6 +497,7 @@ class ShardedProgressService:
             raise RuntimeError("service is closed")
         started = time.perf_counter()
         self._flush_outboxes()
+        completed: list[int] = []
         if self.processes:
             polled = [i for i in range(self.n_shards) if self._shard_active[i]]
             for i in polled:  # all sends first: shards tick concurrently
@@ -473,6 +508,7 @@ class ShardedProgressService:
                 self._shard_active[i] = reply[1]
                 batches.append(reports_from_payload(reply[2]))
                 self.stats.shards[i].absorb(reply[3], reply[4])
+                completed.extend(reply[5])
         else:
             batches = []
             for i in range(self.n_shards):
@@ -489,7 +525,8 @@ class ShardedProgressService:
                 # so parity tests cover the exact process-mode bytes
                 batches.append(reports_from_payload(
                     reports_to_payload(shard.take_emitted())))
-        self._merge(batches)
+                completed.extend(shard.take_completed())
+        self._merge(batches, completed)
         self.stats.round_seconds.append(time.perf_counter() - started)
         return self.active
 
@@ -588,12 +625,15 @@ class ShardedProgressService:
                 f"shard {shard_id} worker failed: {reply[1]}")
         return reply
 
-    def _merge(self, batches: list[list[tuple[int, ProgressReport]]]) -> None:
+    def _merge(self, batches: list[list[tuple[int, ProgressReport]]],
+               completed: list[int]) -> None:
         """Merge one round's shard batches in global submission order.
 
         Each batch is already sorted by global sid (shards emit in local
         submission order and placement preserves relative global order),
         so a stable sort over the concatenation is a k-way merge.
+        Completion hooks fire last: a session's ``on_complete`` always
+        observes every report of its stream.
         """
         merged = sorted((pair for batch in batches for pair in batch),
                         key=lambda pair: pair[0])
@@ -605,6 +645,9 @@ class ShardedProgressService:
         else:
             # soak mode: account, then drop (and release the run refs of
             # retired sessions so supervisor memory stays flat too)
-            for sid, _ in merged:
+            for sid in completed:
                 self._runs.pop(sid, None)
                 self._names.pop(sid, None)
+        if self.on_complete is not None:
+            for sid in sorted(completed):
+                self.on_complete(sid)

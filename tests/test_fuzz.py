@@ -1,7 +1,7 @@
 """Tests for the ad-hoc workload fuzzer and its differential oracle.
 
 The fast part *is* the CI fuzz gate: a fixed 25-seed matrix runs through
-all five oracle layers on every push (engine output vs. the NumPy
+all six oracle layers on every push (engine output vs. the NumPy
 reference, progress invariants, incremental-vs-batch estimation parity,
 trace round-trip/replay parity, pooled service parity).  The slow part
 widens the matrix, trains per-scenario selectors, and is additionally
@@ -43,7 +43,7 @@ from repro.workloads.suite import (
     WorkloadSuite,
 )
 
-#: the fast CI gate: 25 fixed seeds through all five oracle layers
+#: the fast CI gate: 25 fixed seeds through all six oracle layers
 FAST_SEEDS = range(100, 125)
 
 
